@@ -1,0 +1,739 @@
+(* Benchmark harness: regenerates every experiment table (E1..E9) and figure
+   series (F1, F2) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
+   micro-benchmarks of the core routines.
+
+   Every table prints the paper-expected shape next to the measured values;
+   absolute round numbers come from the charged cost model (Rounds), while
+   the message-level experiments (E5 Awerbuch, E7 part-wise aggregation)
+   report genuinely executed rounds. *)
+
+open Repro_util
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+open Repro_congest
+open Repro_core
+open Repro_baseline
+
+let pf = Printf.printf
+
+let section title = pf "\n######## %s ########\n" title
+
+(* ------------------------------------------------------------------ *)
+(* E1: separator validity and balance across all families.             *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "E1  Separator validity & balance (Thm 1, Lemmas 1/5)";
+  pf "expected: 100%% valid, every component ratio <= 2/3\n";
+  let t =
+    Table.create ~title:"E1"
+      [ "family"; "n"; "runs"; "valid"; "max comp ratio"; "mean |S|"; "phases used" ]
+  in
+  Table.set_align t 0 Table.Left;
+  Table.set_align t 6 Table.Left;
+  List.iter
+    (fun family ->
+      List.iter
+        (fun n ->
+          let runs = ref 0 and valid = ref 0 in
+          let worst_ratio = ref 0.0 and sizes = ref [] in
+          let phases = Hashtbl.create 8 in
+          List.iter
+            (fun seed ->
+              List.iter
+                (fun spanning ->
+                  let emb = Gen.by_family ~seed family ~n in
+                  let cfg = Config.of_embedded ~spanning emb in
+                  let r = Separator.find cfg in
+                  let v = Check.check_separator cfg r.Separator.separator in
+                  incr runs;
+                  if v.Check.valid then incr valid;
+                  worst_ratio :=
+                    max !worst_ratio
+                      (float_of_int v.Check.max_component
+                      /. float_of_int (Config.n cfg));
+                  sizes := float_of_int v.Check.size :: !sizes;
+                  Hashtbl.replace phases r.Separator.phase ())
+                [ Spanning.Bfs; Spanning.Dfs; Spanning.Random seed ])
+            [ 1; 2; 3 ];
+          let phase_names =
+            Hashtbl.fold (fun k () acc -> k :: acc) phases [] |> List.sort compare
+          in
+          Table.add_row t
+            [
+              family;
+              Table.fmt_int n;
+              Table.fmt_int !runs;
+              Printf.sprintf "%d/%d" !valid !runs;
+              Table.fmt_float ~digits:3 !worst_ratio;
+              Table.fmt_float ~digits:1 (Stats.mean (Array.of_list !sizes));
+              String.concat "," phase_names;
+            ])
+        [ 120; 480; 1920 ])
+    Gen.family_names;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E2/F1: separator rounds scale with D, not n.                        *)
+(* ------------------------------------------------------------------ *)
+
+let diameter_suite =
+  (* Same order of magnitude n, very different diameters. *)
+  [
+    ("stacked", fun n seed -> Gen.stacked_triangulation ~seed ~n ());
+    ( "tgrid",
+      fun n seed ->
+        let s = int_of_float (sqrt (float_of_int n)) in
+        Gen.grid_diag ~seed ~rows:s ~cols:s () );
+    ( "grid",
+      fun n _ ->
+        let s = int_of_float (sqrt (float_of_int n)) in
+        Gen.grid ~rows:s ~cols:s );
+    ("cycle", fun n _ -> Gen.cycle n);
+  ]
+
+let e2 () =
+  section "E2  Separator rounds scale with D, not n (Thm 1)";
+  pf "expected: rounds/(D*log^2 n) flat across families; cycle pays its D\n";
+  let t =
+    Table.create ~title:"E2 (n ~ 4096)"
+      [
+        "family"; "n"; "D"; "rounds"; "subroutine calls"; "rounds/(D log^2 n)";
+        "rounds/n";
+      ]
+  in
+  Table.set_align t 0 Table.Left;
+  List.iter
+    (fun (name, gen) ->
+      let emb = gen 4096 1 in
+      let g = Embedded.graph emb in
+      let n = Graph.n g in
+      let d = Algo.diameter g in
+      let rounds = Rounds.create ~n ~d () in
+      let cfg = Config.of_embedded emb in
+      let _ = Separator.find ~rounds cfg in
+      let total = Rounds.total rounds in
+      let lg = Rounds.log2n rounds in
+      Table.add_row t
+        [
+          name;
+          Table.fmt_int n;
+          Table.fmt_int d;
+          Table.fmt_float ~digits:0 total;
+          Table.fmt_int (Rounds.invocations rounds);
+          Table.fmt_float ~digits:2 (total /. (float_of_int d *. lg *. lg));
+          Table.fmt_float ~digits:1 (total /. float_of_int n);
+        ])
+    diameter_suite;
+  Table.print t;
+  pf "(the per-family constant is the number of subroutine invocations —\n";
+  pf " a constant per phase; the D*log^2 n factor is the PA unit cost)\n"
+
+let f1 () =
+  section "F1  (figure) separator rounds vs D at fixed n";
+  pf "expected: rounds grow ~linearly in D (slope ~1 in log-log)\n";
+  let t = Table.create ~title:"F1 (n ~ 4096)" [ "D"; "rounds"; "family" ] in
+  Table.set_align t 2 Table.Left;
+  let points = ref [] in
+  List.iter
+    (fun (name, gen) ->
+      let emb = gen 4096 1 in
+      let g = Embedded.graph emb in
+      let d = Algo.diameter g in
+      let rounds = Rounds.create ~n:(Graph.n g) ~d () in
+      let _ = Separator.find ~rounds (Config.of_embedded emb) in
+      points := (d, Rounds.total rounds, name) :: !points)
+    diameter_suite;
+  List.iter
+    (fun (d, r, name) ->
+      Table.add_row t [ Table.fmt_int d; Table.fmt_float ~digits:0 r; name ])
+    (List.sort compare !points);
+  Table.print t;
+  let xs = Array.of_list (List.map (fun (d, _, _) -> float_of_int d) !points) in
+  let ys = Array.of_list (List.map (fun (_, r, _) -> r) !points) in
+  pf "log-log slope rounds~D: %.2f (expected ~1.0)\n" (Stats.loglog_slope ~x:xs ~y:ys)
+
+(* ------------------------------------------------------------------ *)
+(* E3: DFS phases and rounds.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "E3  DFS: O(log n) phases, rounds ~ D*polylog (Thm 2)";
+  pf "expected: phases <~ log_1.5 n; rounds/(D log^3 n) flat-ish\n";
+  let t =
+    Table.create ~title:"E3"
+      [
+        "family"; "n"; "D"; "phases"; "log1.5 n"; "max join iters"; "rounds";
+        "rounds/(D log^3 n)";
+      ]
+  in
+  Table.set_align t 0 Table.Left;
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun n ->
+          let emb = gen n 1 in
+          let g = Embedded.graph emb in
+          let nn = Graph.n g in
+          let d = Algo.diameter g in
+          let rounds = Rounds.create ~n:nn ~d () in
+          let r = Dfs.run ~rounds emb ~root:(Embedded.outer emb) in
+          assert (Dfs.verify emb ~root:(Embedded.outer emb) r);
+          let total = Rounds.total rounds in
+          let lg = Rounds.log2n rounds in
+          Table.add_row t
+            [
+              name;
+              Table.fmt_int nn;
+              Table.fmt_int d;
+              Table.fmt_int r.Dfs.phases;
+              Table.fmt_float ~digits:1 (log (float_of_int nn) /. log 1.5);
+              Table.fmt_int r.Dfs.max_join_iterations;
+              Table.fmt_float ~digits:0 total;
+              Table.fmt_float ~digits:2 (total /. (float_of_int d *. (lg ** 3.0)));
+            ])
+        [ 256; 1024; 4096 ])
+    [ List.nth diameter_suite 0; List.nth diameter_suite 1 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E4: deterministic vs randomized separator.                          *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  section "E4  Deterministic matches randomized (abstract / Sec 1.2)";
+  pf "expected: same Õ(D) schedule; randomized fails at low samples, det never\n";
+  let t =
+    Table.create ~title:"E4 (stacked n=400, 30 seeds per row)"
+      [ "algorithm"; "samples"; "failures"; "fallbacks"; "rounds (charged)" ]
+  in
+  Table.set_align t 0 Table.Left;
+  let emb = Gen.stacked_triangulation ~seed:5 ~n:400 () in
+  let g = Embedded.graph emb in
+  let d = Algo.diameter g in
+  let cfg = Config.of_embedded emb in
+  let det_rounds = Rounds.create ~n:400 ~d () in
+  let det = Separator.find ~rounds:det_rounds cfg in
+  let det_ok = Check.balanced cfg det.Separator.separator in
+  Table.add_row t
+    [
+      "deterministic";
+      "-";
+      (if det_ok then "0/30" else "30/30");
+      "0";
+      Table.fmt_float ~digits:0 (Rounds.total det_rounds);
+    ];
+  List.iter
+    (fun samples ->
+      let fails = ref 0 and fellback = ref 0 in
+      let rr = Rounds.create ~n:400 ~d () in
+      for seed = 1 to 30 do
+        let local = Rounds.like rr in
+        let o = Random_sep.find ~rounds:local ~seed ~samples cfg in
+        if seed = 1 then Rounds.absorb rr local;
+        if not o.Random_sep.balanced then incr fails;
+        if o.Random_sep.fell_back then incr fellback
+      done;
+      Table.add_row t
+        [
+          "randomized";
+          Table.fmt_int samples;
+          Printf.sprintf "%d/30" !fails;
+          Table.fmt_int !fellback;
+          Table.fmt_float ~digits:0 (Rounds.total rr);
+        ])
+    [ 2; 8; 32; 128; 512; 2048 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E5: ours (charged Õ(D)) vs Awerbuch (measured Θ(n)).                *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5  DFS rounds: this paper vs Awerbuch's O(n) baseline";
+  pf "expected shape: Awerbuch grows ~linearly in n (slope ~1);\n";
+  pf "ours grows like D*polylog (sub-linear slope on low-diameter families),\n";
+  pf "so Awerbuch wins small n and loses past a crossover; on cycles (D ~ n)\n";
+  pf "Awerbuch keeps winning — exactly the paper's positioning.\n";
+  let t =
+    Table.create ~title:"E5"
+      [
+        "family"; "n"; "D"; "awerbuch (measured)"; "ours (log^2 model)";
+        "ours (log^1 model)";
+      ]
+  in
+  Table.set_align t 0 Table.Left;
+  let slopes = ref [] in
+  List.iter
+    (fun (name, gen) ->
+      let xs = ref [] and ya = ref [] and yo = ref [] in
+      List.iter
+        (fun n ->
+          let emb = gen n 1 in
+          let g = Embedded.graph emb in
+          let nn = Graph.n g in
+          let d = Algo.diameter g in
+          let root = Embedded.outer emb in
+          let aw = Awerbuch.run g ~root in
+          assert (Algo.is_dfs_tree g ~root ~parent:aw.Awerbuch.parent);
+          let measure params =
+            let rounds = Rounds.create ~params ~n:nn ~d () in
+            let r = Dfs.run ~rounds emb ~root in
+            assert (Dfs.verify emb ~root r);
+            Rounds.total rounds
+          in
+          let ours2 = measure Rounds.default_params in
+          let ours1 = measure Rounds.{ c_pa = 1.0; log_exponent = 1 } in
+          xs := float_of_int nn :: !xs;
+          ya := float_of_int aw.Awerbuch.rounds :: !ya;
+          yo := ours2 :: !yo;
+          Table.add_row t
+            [
+              name;
+              Table.fmt_int nn;
+              Table.fmt_int d;
+              Table.fmt_int aw.Awerbuch.rounds;
+              Table.fmt_float ~digits:0 ours2;
+              Table.fmt_float ~digits:0 ours1;
+            ])
+        [ 64; 256; 1024; 4096 ];
+      let x = Array.of_list !xs in
+      let sa = Stats.loglog_slope ~x ~y:(Array.of_list !ya) in
+      let so = Stats.loglog_slope ~x ~y:(Array.of_list !yo) in
+      let last_ratio = List.hd !yo /. List.hd !ya in
+      slopes := (name, sa, so, last_ratio) :: !slopes)
+    [ List.nth diameter_suite 0; List.nth diameter_suite 3 ];
+  Table.print t;
+  List.iter
+    (fun (name, sa, so, last_ratio) ->
+      pf "%s: awerbuch slope(n)=%.2f  ours slope(n)=%.2f\n" name sa so;
+      if name = "cycle" then
+        pf "  -> D ~ n: Awerbuch wins at every size, as the paper predicts\n"
+      else if so < sa -. 0.05 then begin
+        let crossover = 4096.0 *. (last_ratio ** (1.0 /. (sa -. so))) in
+        pf "  -> ours scales better; extrapolated crossover n ~ %.1e\n" crossover
+      end
+      else
+        pf
+          "  -> low-diameter family, but at simulator sizes the log^2-model \
+           polylog\n     factors still dominate the 4n constant (ours/awerbuch \
+           = %.0fx at n=4096);\n     the D-scaling that flips this \
+           asymptotically is measured directly in E2/F1\n"
+          last_ratio)
+    (List.rev !slopes)
+
+(* ------------------------------------------------------------------ *)
+(* E6: the deterministic weight formula is exact.                      *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6  Weight formula exactness (Definition 2 = Lemmas 3/4)";
+  pf "expected: 0 mismatches everywhere\n";
+  let t =
+    Table.create ~title:"E6" [ "family"; "tree"; "edges checked"; "mismatches" ]
+  in
+  Table.set_align t 0 Table.Left;
+  Table.set_align t 1 Table.Left;
+  List.iter
+    (fun family ->
+      List.iter
+        (fun spanning ->
+          let checked = ref 0 and bad = ref 0 in
+          List.iter
+            (fun seed ->
+              let emb = Gen.by_family ~seed family ~n:300 in
+              let cfg = Config.of_embedded ~spanning emb in
+              List.iter
+                (fun (u, v) ->
+                  incr checked;
+                  if Weights.weight cfg ~u ~v <> Weights.count_reference cfg ~u ~v
+                  then incr bad)
+                (Config.fundamental_edges cfg))
+            [ 1; 2; 3; 4 ];
+          Table.add_row t
+            [
+              family;
+              Spanning.kind_name spanning;
+              Table.fmt_int !checked;
+              Table.fmt_int !bad;
+            ])
+        [ Spanning.Bfs; Spanning.Dfs; Spanning.Random 17 ])
+    [ "tgrid"; "stacked"; "thinned" ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E7: executed part-wise aggregation rounds.                          *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7  Part-wise aggregation, message-level (O(depth + k) executed)";
+  pf "expected: measured rounds <= c*(depth + k), bandwidth never exceeded\n";
+  let t =
+    Table.create ~title:"E7 (grid 32x32, BFS-band parts)"
+      [ "k parts"; "depth"; "rounds"; "rounds/(depth+k)"; "max bits/edge"; "messages" ]
+  in
+  let emb = Gen.grid ~rows:32 ~cols:32 in
+  let g = Embedded.graph emb in
+  let (parent, dist), _ = Prim.bfs_tree g ~root:0 in
+  let depth = Array.fold_left max 0 dist in
+  List.iter
+    (fun k ->
+      let parts = Array.map (fun d -> d * k / (depth + 1)) dist in
+      let values = Array.init (Graph.n g) (fun v -> v) in
+      let answers, stats = Prim.partwise g ~parent ~op:Prim.Sum ~parts ~values in
+      let expected = Hashtbl.create 16 in
+      Array.iteri
+        (fun v p ->
+          Hashtbl.replace expected p
+            (values.(v) + Option.value ~default:0 (Hashtbl.find_opt expected p)))
+        parts;
+      Array.iteri (fun v a -> assert (a = Hashtbl.find expected parts.(v))) answers;
+      Table.add_row t
+        [
+          Table.fmt_int k;
+          Table.fmt_int depth;
+          Table.fmt_int stats.Engine.rounds;
+          Table.fmt_float ~digits:2
+            (float_of_int stats.Engine.rounds /. float_of_int (depth + k));
+          Table.fmt_int stats.Engine.max_edge_bits;
+          Table.fmt_int stats.Engine.messages;
+        ])
+    [ 1; 4; 16; 64; 256 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E8: augmentation vs full triangulation (ablation).                  *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8  Ablation: augmentation avoids triangulating faces";
+  pf "expected: candidate virtual edges ~ #interior leaves (augmentation)\n";
+  pf "          vs Theta(|face|^2) pairs a triangulation may add\n";
+  let t =
+    Table.create ~title:"E8"
+      [ "instance"; "n"; "face size"; "aug candidates"; "triangulation pairs"; "saving" ]
+  in
+  Table.set_align t 0 Table.Left;
+  List.iter
+    (fun (name, emb, spanning) ->
+      let cfg = Config.of_embedded ~spanning emb in
+      let n = Config.n cfg in
+      let weights = Weights.all_weights cfg in
+      if weights <> [] then begin
+        let (u, v), _ =
+          List.fold_left
+            (fun acc (e, w) ->
+              match acc with (_, w') when w > w' -> (e, w) | _ -> acc)
+            (List.hd weights) (List.tl weights)
+        in
+        let interior = Faces.interior_reference cfg ~u ~v in
+        let tree = Config.tree cfg in
+        let face_size = List.length interior + List.length (Faces.border cfg ~u ~v) in
+        let leaves = List.length (List.filter (Rooted.is_leaf tree) interior) in
+        let tri_pairs = face_size * (face_size - 1) / 2 in
+        Table.add_row t
+          [
+            name;
+            Table.fmt_int n;
+            Table.fmt_int face_size;
+            Table.fmt_int (max 1 leaves);
+            Table.fmt_int tri_pairs;
+            Printf.sprintf "%.0fx"
+              (float_of_int tri_pairs /. float_of_int (max 1 leaves));
+          ]
+      end)
+    [
+      ("wheel-400", Gen.wheel 400, Spanning.Bfs);
+      ("fan-400", Gen.fan 400, Spanning.Bfs);
+      ("cycle-400", Gen.cycle 400, Spanning.Bfs);
+      ("stacked-400", Gen.stacked_triangulation ~seed:3 ~n:400 (), Spanning.Dfs);
+      ("tgrid-20x20", Gen.grid_diag ~seed:3 ~rows:20 ~cols:20 (), Spanning.Random 3);
+    ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E9: JOIN halves the remaining separator.                            *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9  JOIN iterations are logarithmic (Lemma 2)";
+  pf "expected: iterations <= log2|S| + O(1) in every join\n";
+  let t =
+    Table.create ~title:"E9"
+      [ "family"; "n"; "joins"; "max |S|"; "max iters"; "worst iters - log2|S|" ]
+  in
+  Table.set_align t 0 Table.Left;
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun n ->
+          let emb = gen n 1 in
+          let g = Embedded.graph emb in
+          let root = Embedded.outer emb in
+          let st = Join.create g ~root in
+          let all = List.init (Graph.n g) Fun.id in
+          let joins = ref 0 and max_s = ref 0 and max_it = ref 0 in
+          let worst_gap = ref neg_infinity in
+          let continue_ = ref true in
+          while !continue_ do
+            let comps = Join.unvisited_components st all in
+            if comps = [] then continue_ := false
+            else
+              List.iter
+                (fun members ->
+                  let part_root =
+                    match Join.component_anchor st members with
+                    | Some (v, _) -> v
+                    | None -> List.hd members
+                  in
+                  let cfg = Config.of_part ~members ~root:part_root emb in
+                  let r = Separator.find cfg in
+                  let sep = List.map (Config.to_global cfg) r.Separator.separator in
+                  let s = List.length sep in
+                  let iters = Join.join st ~members ~separator:sep in
+                  incr joins;
+                  max_s := max !max_s s;
+                  max_it := max !max_it iters;
+                  worst_gap :=
+                    max !worst_gap
+                      (float_of_int iters
+                      -. (log (float_of_int (max 2 s)) /. log 2.0)))
+                comps
+          done;
+          assert (Algo.is_dfs_tree g ~root ~parent:st.Join.parent);
+          Table.add_row t
+            [
+              name;
+              Table.fmt_int (Graph.n g);
+              Table.fmt_int !joins;
+              Table.fmt_int !max_s;
+              Table.fmt_int !max_it;
+              Table.fmt_float ~digits:1 !worst_gap;
+            ])
+        [ 256; 1024 ])
+    [ List.nth diameter_suite 0; List.nth diameter_suite 1; List.nth diameter_suite 3 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E10: the executed Phase 1-3 pipeline (Lemmas 11, 12, 5 end to end).  *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section "E10  Executed message-level pipeline (Lemmas 11/12 + Phase 3)";
+  pf "expected: O(log depth) merge phases; weights exact; separator valid;\n";
+  pf "          all within the Theta(log n) per-edge bandwidth\n";
+  let t =
+    Table.create ~title:"E10 (stacked triangulations, BFS trees)"
+      [
+        "n"; "tree depth"; "merge phases"; "rounds"; "messages"; "max bits";
+        "bits budget"; "|S|"; "valid";
+      ]
+  in
+  List.iter
+    (fun n ->
+      let emb = Gen.stacked_triangulation ~seed:2 ~n () in
+      let g = Embedded.graph emb in
+      let root = Embedded.outer emb in
+      let parent = Repro_tree.Spanning.bfs g ~root in
+      let tree = Repro_tree.Rooted.build ~rot:(Embedded.rot emb) ~root parent in
+      let nn = Graph.n g in
+      let rot_orders = Array.init nn (Rotation.order (Embedded.rot emb)) in
+      let depth = Array.init nn (Repro_tree.Rooted.depth tree) in
+      let tree_depth = Array.fold_left max 0 depth in
+      (* Merge-phase count from a direct dfs_orders run. *)
+      let children = Array.init nn (Repro_tree.Rooted.children tree) in
+      let _, phases, _ = Composed.dfs_orders g ~children ~parent ~depth ~root in
+      match Composed.separator_phase3 g ~rot_orders ~parent ~depth ~root with
+      | None, _ ->
+        Table.add_row t
+          [
+            Table.fmt_int nn; Table.fmt_int tree_depth; Table.fmt_int phases;
+            "-"; "-"; "-"; "-"; "-"; "no in-range face";
+          ]
+      | Some (_, marked), stats ->
+        let sep = ref [] in
+        Array.iteri (fun x m -> if m then sep := x :: !sep) marked;
+        let cfg =
+          Config.of_parts ~graph:g ~rot:(Embedded.rot emb) ~tree ()
+        in
+        let verdict = Check.check_separator cfg !sep in
+        Table.add_row t
+          [
+            Table.fmt_int nn;
+            Table.fmt_int tree_depth;
+            Table.fmt_int phases;
+            Table.fmt_int stats.Composed.rounds;
+            Table.fmt_int stats.Composed.messages;
+            Table.fmt_int stats.Composed.max_edge_bits;
+            Table.fmt_int (Bandwidth.default ~n:nn);
+            Table.fmt_int verdict.Check.size;
+            string_of_bool verdict.Check.valid;
+          ])
+    [ 64; 256; 1024 ];
+  Table.print t;
+  pf "(rounds here use the tree-pipelined part-wise fallback, O(depth + k)\n";
+  pf " per merge phase; the paper's shortcut black box would make it Õ(D))\n";
+  (* The rest of the executed subroutine inventory, at one size. *)
+  let emb = Gen.stacked_triangulation ~seed:2 ~n:256 () in
+  let g = Embedded.graph emb in
+  let (_, _, _), bphases, bstats = Composed.spanning_forest g () in
+  pf "executed Boruvka (Lemma 9):  %d phases, %d rounds, %d messages\n" bphases
+    bstats.Composed.rounds bstats.Composed.messages;
+  let root = Embedded.outer emb in
+  let parent = Repro_tree.Spanning.bfs g ~root in
+  let tree = Repro_tree.Rooted.build ~rot:(Embedded.rot emb) ~root parent in
+  let nn = Graph.n g in
+  let lv =
+    Composed.
+      {
+        lparent = Array.init nn (Repro_tree.Rooted.parent tree);
+        ldepth = Array.init nn (Repro_tree.Rooted.depth tree);
+        lsize = Array.init nn (Repro_tree.Rooted.size tree);
+        lrot = Array.init nn (Rotation.order (Embedded.rot emb));
+        lchildren = Array.init nn (Repro_tree.Rooted.children tree);
+        lpi_l = Array.init nn (Repro_tree.Rooted.pi_left tree);
+        lpi_r = Array.init nn (Repro_tree.Rooted.pi_right tree);
+      }
+  in
+  let (_, _), rstats = Composed.reroot g lv ~new_root:(nn / 2) in
+  pf "executed re-root (Lemma 19): %d rounds, %d messages\n" rstats.Composed.rounds
+    rstats.Composed.messages;
+  let cfg256 = Config.of_parts ~graph:g ~rot:(Embedded.rot emb) ~tree () in
+  let printed = ref false in
+  List.iter
+    (fun (u, v) ->
+      if not !printed then begin
+        let fmem, dstats = Composed.detect_face g lv ~u ~v in
+        let leaf =
+          let t = ref (-1) in
+          Array.iteri
+            (fun z m ->
+              if m && !t < 0 && Repro_tree.Rooted.is_leaf tree z then t := z)
+            fmem.Composed.inside;
+          !t
+        in
+        if leaf >= 0 then begin
+          printed := true;
+          pf "executed detect-face (L15):  %d rounds, %d messages\n"
+            dstats.Composed.rounds dstats.Composed.messages;
+          let _, hstats = Composed.hidden g lv ~u ~v ~t:leaf in
+          pf "executed hidden (L16):       %d rounds, %d messages\n"
+            hstats.Composed.rounds hstats.Composed.messages
+        end
+      end)
+    (Config.fundamental_edges cfg256)
+
+(* ------------------------------------------------------------------ *)
+(* F2: separator size vs sqrt(n).                                      *)
+(* ------------------------------------------------------------------ *)
+
+let f2 () =
+  section "F2  (figure) separator size vs sqrt(n)";
+  pf "expected: |S| ~ c*sqrt(n) on grid-like inputs; Theta(n) on cycles\n";
+  let t =
+    Table.create ~title:"F2"
+      [ "family"; "n"; "sqrt n"; "mean |S|"; "|S|/sqrt n"; "after shrink" ]
+  in
+  Table.set_align t 0 Table.Left;
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun n ->
+          let sizes = ref [] and shrunk = ref [] in
+          List.iter
+            (fun seed ->
+              let emb = gen n seed in
+              let cfg = Config.of_embedded emb in
+              let r = Separator.find cfg in
+              let s = Separator.shrink cfg r.Separator.separator in
+              assert (Check.balanced cfg s);
+              sizes := float_of_int (List.length r.Separator.separator) :: !sizes;
+              shrunk := float_of_int (List.length s) :: !shrunk)
+            [ 1; 2; 3 ];
+          let mean = Stats.mean (Array.of_list !sizes) in
+          let sq = sqrt (float_of_int n) in
+          Table.add_row t
+            [
+              name;
+              Table.fmt_int n;
+              Table.fmt_float ~digits:1 sq;
+              Table.fmt_float ~digits:1 mean;
+              Table.fmt_float ~digits:2 (mean /. sq);
+              Table.fmt_float ~digits:1 (Stats.mean (Array.of_list !shrunk));
+            ])
+        [ 100; 400; 1600; 6400 ])
+    [ List.nth diameter_suite 1; List.nth diameter_suite 2; List.nth diameter_suite 3 ];
+  Table.print t;
+  pf "('after shrink' is the balanced-trim post-pass: a balanced tree-path\n";
+  pf " separator that may forgo the closing edge; on cycles it recovers n/3)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let emb = Gen.grid_diag ~seed:3 ~rows:24 ~cols:24 () in
+  let emb_small = Gen.grid_diag ~seed:3 ~rows:12 ~cols:12 () in
+  let tests =
+    [
+      Test.make ~name:"separator/tgrid-24x24"
+        (Staged.stage (fun () -> ignore (Separator.find (Config.of_embedded emb))));
+      Test.make ~name:"weights/tgrid-24x24"
+        (Staged.stage (fun () -> ignore (Weights.all_weights (Config.of_embedded emb))));
+      Test.make ~name:"dfs/tgrid-12x12"
+        (Staged.stage (fun () -> ignore (Dfs.run emb_small ~root:0)));
+      Test.make ~name:"config+orders/tgrid-24x24"
+        (Staged.stage (fun () -> ignore (Config.of_embedded emb)));
+      Test.make ~name:"awerbuch/tgrid-12x12"
+        (Staged.stage (fun () ->
+             ignore (Awerbuch.run (Embedded.graph emb_small) ~root:0)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> pf "  %-28s %12.0f ns/run\n" name est
+          | _ -> pf "  %-28s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let only = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let run name f =
+    match only with
+    | Some o when o <> name -> ()
+    | _ ->
+      let t0 = Sys.time () in
+      f ();
+      pf "[%s done in %.1fs cpu]\n" name (Sys.time () -. t0)
+  in
+  pf "Deterministic Distributed DFS via Cycle Separators — experiment harness\n";
+  run "e1" e1;
+  run "e2" e2;
+  run "f1" f1;
+  run "e3" e3;
+  run "e4" e4;
+  run "e5" e5;
+  run "e6" e6;
+  run "e7" e7;
+  run "e8" e8;
+  run "e9" e9;
+  run "e10" e10;
+  run "f2" f2;
+  run "micro" micro;
+  pf "\nAll experiments complete.\n"

@@ -1,0 +1,1 @@
+bin/debug_conventions.ml: Array Config Embedded Faces Gen Geometry Graph Hashtbl List Printf Repro_core Repro_embedding Repro_graph Repro_tree Rooted Spanning String Weights

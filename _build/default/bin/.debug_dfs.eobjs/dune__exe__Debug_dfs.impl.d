@@ -1,0 +1,1 @@
+bin/debug_dfs.ml: Dfs Embedded Gen List Printexc Printf Repro_core Repro_embedding

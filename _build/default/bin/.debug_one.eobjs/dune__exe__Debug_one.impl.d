@@ -1,0 +1,1 @@
+bin/debug_one.ml: Array Check Config Dfs Embedded Fun Gen Graph List Planarity Printexc Printf Repro_core Repro_embedding Repro_graph Repro_tree Repro_util Separator Spanning

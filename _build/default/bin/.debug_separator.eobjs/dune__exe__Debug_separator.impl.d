@@ -1,0 +1,1 @@
+bin/debug_separator.ml: Check Config Embedded Fmt Gen Hashtbl List Option Printexc Printf Repro_core Repro_embedding Repro_tree Separator Spanning

@@ -1,0 +1,1 @@
+bin/debug_two.ml: Check Config Gen Graph List Printf Repro_core Repro_embedding Repro_graph Repro_tree Separator Spanning

@@ -1,0 +1,102 @@
+(* Development harness: cross-validates the local face characterization
+   (Claims 1/3/4/5, Remark 1) against the exact T+e face-traversal reference
+   and, where coordinates exist, against geometric point-in-polygon. *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+open Repro_core
+
+let check_instance ~name emb spanning =
+  let cfg = Config.of_embedded ~spanning emb in
+  let tree = Config.tree cfg in
+  let g = Config.graph cfg in
+  let coords = Embedded.coords emb in
+  let mism_interior = ref 0 and mism_weight = ref 0 and mism_geom = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      incr checked;
+      let reference = Faces.interior_reference cfg ~u ~v |> List.sort compare in
+      let local = Faces.interior cfg ~u ~v |> List.sort compare in
+      if reference <> local then begin
+        incr mism_interior;
+        if !mism_interior <= 3 then begin
+          Printf.printf "  INTERIOR mismatch %s e=(%d,%d) case=%s\n" name u v
+            (Faces.case_name (Faces.classify cfg ~u ~v));
+          Printf.printf "    ref=[%s]\n    loc=[%s]\n"
+            (String.concat "," (List.map string_of_int reference))
+            (String.concat "," (List.map string_of_int local))
+        end
+      end;
+      (* is_inside agrees with membership in the reference list. *)
+      let ref_set = Hashtbl.create 16 in
+      List.iter (fun x -> Hashtbl.replace ref_set x ()) reference;
+      for z = 0 to Graph.n g - 1 do
+        let a = Faces.is_inside cfg ~u ~v z in
+        let b = Hashtbl.mem ref_set z in
+        if a <> b then begin
+          incr mism_interior;
+          if !mism_interior <= 6 then
+            Printf.printf "  IS_INSIDE mismatch %s e=(%d,%d) z=%d local=%b ref=%b case=%s\n"
+              name u v z a b (Faces.case_name (Faces.classify cfg ~u ~v))
+        end
+      done;
+      (* Weight formula vs its proven meaning. *)
+      let w_formula = Weights.weight cfg ~u ~v in
+      let w_ref = Weights.count_reference cfg ~u ~v in
+      if w_formula <> w_ref then begin
+        incr mism_weight;
+        if !mism_weight <= 6 then
+          Printf.printf "  WEIGHT mismatch %s e=(%d,%d) case=%s formula=%d ref=%d\n"
+            name u v
+            (Faces.case_name (Faces.classify cfg ~u ~v))
+            w_formula w_ref
+      end;
+      (* Geometry: interior nodes are inside the drawn cycle polygon. *)
+      (match coords with
+      | None -> ()
+      | Some coords ->
+        let poly =
+          Rooted.path tree u v |> List.map (fun x -> coords.(x)) |> Array.of_list
+        in
+        for z = 0 to Graph.n g - 1 do
+          if not (Faces.on_border cfg ~u ~v z) then begin
+            let geo = Geometry.point_in_polygon poly coords.(z) in
+            let comb = Hashtbl.mem ref_set z in
+            if geo <> comb then begin
+              incr mism_geom;
+              if !mism_geom <= 3 then
+                Printf.printf "  GEOMETRY mismatch %s e=(%d,%d) z=%d geo=%b comb=%b\n"
+                  name u v z geo comb
+            end
+          end
+        done))
+    (Config.fundamental_edges cfg);
+  Printf.printf
+    "%s [%s]: %d edges checked, interior mismatches=%d, weight mismatches=%d, geometry mismatches=%d\n"
+    name
+    (Spanning.kind_name spanning)
+    !checked !mism_interior !mism_weight !mism_geom;
+  !mism_interior + !mism_weight + !mism_geom
+
+let () =
+  let total = ref 0 in
+  let run name emb =
+    List.iter
+      (fun sp -> total := !total + check_instance ~name emb sp)
+      [ Spanning.Bfs; Spanning.Dfs; Spanning.Random 11 ]
+  in
+  run "grid5x5" (Gen.grid ~rows:5 ~cols:5);
+  run "tgrid4x4" (Gen.grid_diag ~seed:2 ~rows:4 ~cols:4 ());
+  run "stacked30" (Gen.stacked_triangulation ~seed:3 ~n:30 ());
+  run "wheel9" (Gen.wheel 9);
+  run "fan8" (Gen.fan 8);
+  run "cycle12" (Gen.cycle 12);
+  for seed = 1 to 8 do
+    run
+      (Printf.sprintf "thin%d" seed)
+      (Gen.thin ~seed ~keep:0.55 (Gen.stacked_triangulation ~seed ~n:40 ()))
+  done;
+  Printf.printf "TOTAL mismatches: %d\n" !total;
+  exit (if !total = 0 then 0 else 1)

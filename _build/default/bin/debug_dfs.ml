@@ -1,0 +1,46 @@
+(* Stress harness for the deterministic DFS construction. *)
+
+open Repro_embedding
+
+open Repro_core
+
+let () =
+  let failures = ref 0 and total = ref 0 in
+  let max_phases = ref 0 in
+  let check name emb =
+    incr total;
+    let root = Embedded.outer emb in
+    match Dfs.run emb ~root with
+    | exception e ->
+      incr failures;
+      Printf.printf "EXCEPTION %s: %s\n" name (Printexc.to_string e)
+    | r ->
+      max_phases := max !max_phases r.Dfs.phases;
+      if not (Dfs.verify emb ~root r) then begin
+        incr failures;
+        Printf.printf "INVALID DFS %s (phases=%d)\n" name r.Dfs.phases
+      end
+  in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun seed -> check (family ^ string_of_int n) (Gen.by_family ~seed family ~n))
+            [ 1; 2; 3; 4; 5 ])
+        [ 5; 12; 30; 80; 200; 400 ])
+    Gen.family_names;
+  List.iter
+    (fun emb -> check (Embedded.name emb) emb)
+    [ Gen.star 50; Gen.path 100; Gen.wheel 40; Gen.caterpillar ~spine:20 ~legs:4 ];
+  Printf.printf "total=%d failures=%d max_phases=%d\n" !total !failures !max_phases;
+  (* One detailed run. *)
+  let emb = Gen.grid_diag ~seed:3 ~rows:20 ~cols:20 () in
+  let r = Dfs.run emb ~root:0 in
+  Printf.printf "tgrid20x20: phases=%d max_join=%d valid=%b\n" r.Dfs.phases
+    r.Dfs.max_join_iterations (Dfs.verify emb ~root:0 r);
+  List.iter
+    (fun (c, l, j) -> Printf.printf "  phase: comps=%d largest=%d join_iters=%d\n" c l j)
+    r.Dfs.phase_log;
+  List.iter (fun (p, c) -> Printf.printf "  sep %s: %d\n" p c) r.Dfs.separator_phases;
+  exit (if !failures = 0 then 0 else 1)

@@ -1,0 +1,73 @@
+(* Grand stress: separators + DFS across generated AND DMP-embedded
+   instances, randomized roots and tree kinds; also certifies any reported
+   closing edge. *)
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+open Repro_core
+
+let shuffle_labels ~seed g =
+  let n = Graph.n g in
+  let perm = Array.init n Fun.id in
+  Repro_util.Rng.shuffle_in_place (Repro_util.Rng.create seed) perm;
+  Graph.of_edges ~n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (Graph.edges g))
+
+let () =
+  let rng = Repro_util.Rng.create 20260705 in
+  let fails = ref 0 and total = ref 0 and certified = ref 0 in
+  for i = 1 to 4000 do
+    let which = Repro_util.Rng.int rng 7 in
+    let n = 4 + Repro_util.Rng.int rng 300 in
+    let seed = Repro_util.Rng.int rng 1000000 in
+    let family = List.nth Gen.family_names which in
+    let emb0 = Gen.by_family ~seed family ~n in
+    let use_dmp = Repro_util.Rng.int rng 4 = 0 in
+    let emb =
+      if not use_dmp then emb0
+      else begin
+        let g = shuffle_labels ~seed:(seed + 1) (Embedded.graph emb0) in
+        match Planarity.embed g with
+        | Some rot -> Embedded.make ~name:"dmp" g rot
+        | None -> emb0
+      end
+    in
+    let g = Embedded.graph emb in
+    let spanning =
+      match Repro_util.Rng.int rng 3 with
+      | 0 -> Spanning.Bfs
+      | 1 -> Spanning.Dfs
+      | _ -> Spanning.Random seed
+    in
+    incr total;
+    (try
+       let cfg = Config.of_embedded ~spanning emb in
+       let r = Separator.find cfg in
+       if not (Check.check_separator cfg r.Separator.separator).Check.valid then begin
+         incr fails;
+         Printf.printf "BAD SEP i=%d %s n=%d seed=%d dmp=%b\n" i family n seed use_dmp
+       end;
+       (match r.Separator.endpoints with
+       | Some endpoints when Graph.n g <= 150 ->
+         incr certified;
+         if not (Check.cycle_closable cfg ~endpoints) then begin
+           incr fails;
+           Printf.printf "NOT CLOSABLE i=%d %s n=%d seed=%d\n" i family n seed
+         end
+       | _ -> ());
+       if i mod 3 = 0 then begin
+         let root = Repro_util.Rng.int rng (Graph.n g) in
+         let d = Dfs.run ~spanning emb ~root in
+         if not (Dfs.verify emb ~root d) then begin
+           incr fails;
+           Printf.printf "BAD DFS i=%d %s n=%d seed=%d root=%d dmp=%b\n" i family n
+             seed root use_dmp
+         end
+       end
+     with e ->
+       incr fails;
+       Printf.printf "EXC i=%d %s n=%d seed=%d dmp=%b: %s\n" i family n seed use_dmp
+         (Printexc.to_string e));
+    if !fails > 10 then exit 1
+  done;
+  Printf.printf "grand stress: total=%d closing-edges-certified=%d fails=%d\n" !total
+    !certified !fails

@@ -1,0 +1,60 @@
+(* Stress harness for the separator algorithm: runs every generator family
+   across sizes, seeds and spanning-tree kinds, validates every output and
+   reports the phase distribution. *)
+
+open Repro_embedding
+open Repro_tree
+open Repro_core
+
+let () =
+  let phases = Hashtbl.create 16 in
+  let bump k =
+    Hashtbl.replace phases k (1 + Option.value ~default:0 (Hashtbl.find_opt phases k))
+  in
+  let failures = ref 0 and total = ref 0 and extra_candidates = ref 0 in
+  let check name emb spanning =
+    incr total;
+    let cfg = Config.of_embedded ~spanning emb in
+    match Separator.find cfg with
+    | exception e ->
+      incr failures;
+      Printf.printf "EXCEPTION %s [%s]: %s\n" name (Spanning.kind_name spanning)
+        (Printexc.to_string e)
+    | r ->
+      bump r.Separator.phase;
+      if r.Separator.candidates_tried > 1 then incr extra_candidates;
+      let verdict = Check.check_separator cfg r.Separator.separator in
+      if not verdict.Check.valid then begin
+        incr failures;
+        Printf.printf "INVALID %s [%s] phase=%s: %s\n" name
+          (Spanning.kind_name spanning) r.Separator.phase
+          (Fmt.str "%a" Check.pp_verdict verdict)
+      end
+  in
+  let kinds = [ Spanning.Bfs; Spanning.Dfs; Spanning.Random 5 ] in
+  let sizes = [ 10; 17; 25; 60; 150; 400; 900; 1600 ] in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun seed ->
+              let emb = Gen.by_family ~seed family ~n in
+              List.iter (fun k -> check (Embedded.name emb) emb k) kinds)
+            [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+        sizes)
+    Gen.family_names;
+  (* Extra adversarial shapes. *)
+  List.iter
+    (fun emb -> List.iter (fun k -> check (Embedded.name emb) emb k) kinds)
+    [
+      Gen.star 50;
+      Gen.path 100;
+      Gen.wheel 40;
+      Gen.caterpillar ~spine:20 ~legs:4;
+      Gen.cycle 99;
+    ];
+  Printf.printf "total=%d failures=%d multi-candidate=%d\n" !total !failures
+    !extra_candidates;
+  Hashtbl.iter (fun k v -> Printf.printf "  phase %-16s : %d\n" k v) phases;
+  exit (if !failures = 0 then 0 else 1)

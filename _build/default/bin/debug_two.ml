@@ -1,0 +1,24 @@
+(* Which phase emits the uncertifiable closing edge on grid n=50? *)
+
+open Repro_embedding
+open Repro_tree
+open Repro_core
+open Repro_graph
+
+let () =
+  List.iter
+    (fun seed ->
+      let emb = Gen.by_family ~seed "grid" ~n:50 in
+      List.iter
+        (fun sp ->
+          let cfg = Config.of_embedded ~spanning:sp emb in
+          let r = Separator.find cfg in
+          match r.Separator.endpoints with
+          | Some endpoints when not (Check.cycle_closable cfg ~endpoints) ->
+            let (a, b) = endpoints in
+            Printf.printf "seed=%d sp=%s phase=%s edge=(%d,%d) real=%b\n" seed
+              (Spanning.kind_name sp) r.Separator.phase a b
+              (Graph.mem_edge (Config.graph cfg) a b)
+          | _ -> ())
+        [ Spanning.Bfs; Spanning.Dfs; Spanning.Random seed ])
+    [ 434796; 483504 ]

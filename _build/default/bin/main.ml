@@ -1,0 +1,273 @@
+(* Command-line driver.
+
+     repro gen  --family tgrid --n 400 --seed 1
+     repro sep  --family stacked --n 1000 --tree dfs --shrink
+     repro dfs  --family tgrid --n 900 --root 17 --compare-awerbuch
+
+   Families: grid tgrid stacked thinned cycle fan rtree path star wheel. *)
+
+open Cmdliner
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+open Repro_congest
+open Repro_core
+open Repro_baseline
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let family_arg =
+  let doc =
+    "Graph family (grid, tgrid, stacked, thinned, cycle, fan, rtree, path, \
+     star, wheel)."
+  in
+  Arg.(value & opt string "tgrid" & info [ "family"; "f" ] ~docv:"FAMILY" ~doc)
+
+let n_arg =
+  let doc = "Approximate number of vertices." in
+  Arg.(value & opt int 400 & info [ "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed." in
+  Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+
+let tree_arg =
+  let doc = "Spanning tree kind: bfs, dfs or random." in
+  Arg.(value & opt string "bfs" & info [ "tree"; "t" ] ~docv:"KIND" ~doc)
+
+let spanning_of_string seed = function
+  | "bfs" -> Spanning.Bfs
+  | "dfs" -> Spanning.Dfs
+  | "random" -> Spanning.Random seed
+  | other -> invalid_arg ("unknown tree kind: " ^ other)
+
+let edges_arg =
+  let doc =
+    "Load the graph from an edge-list file (one 'u v' pair per line; vertex \
+     ids 0-based) instead of generating one; the embedding is computed with \
+     the DMP planarity algorithm."
+  in
+  Arg.(value & opt (some string) None & info [ "edges" ] ~docv:"FILE" ~doc)
+
+let load_edge_list path =
+  let ic = open_in path in
+  let edges = ref [] and max_v = ref (-1) in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then begin
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ a; b ] ->
+           let u = int_of_string a and v = int_of_string b in
+           edges := (u, v) :: !edges;
+           max_v := max !max_v (max u v)
+         | _ -> failwith ("bad edge line: " ^ line)
+       end
+     done
+   with End_of_file -> close_in ic);
+  Graph.of_edges ~n:(!max_v + 1) !edges
+
+let instance_of ~family ~n ~seed ~edges =
+  match edges with
+  | None ->
+    let emb = Gen.by_family ~seed family ~n in
+    let g = Embedded.graph emb in
+    (emb, g, Algo.diameter g)
+  | Some path ->
+    let g = load_edge_list path in
+    (match Planarity.embed g with
+    | None ->
+      prerr_endline "input graph is not planar";
+      exit 2
+    | Some rot ->
+      let emb = Embedded.make ~name:(Filename.basename path) g rot in
+      (emb, g, Algo.diameter g))
+
+let print_instance emb g d =
+  Printf.printf "instance : %s\n" (Embedded.name emb);
+  Printf.printf "n        : %d\nm        : %d\nD        : %d\n" (Graph.n g)
+    (Graph.m g) d
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run family n seed edges =
+    let emb, g, d = instance_of ~family ~n ~seed ~edges in
+    print_instance emb g d;
+    Printf.printf "planar embedding valid : %b\n" (Embedded.is_valid emb);
+    Printf.printf "connected              : %b\n" (Algo.is_connected g);
+    (match Embedded.coords emb with
+    | Some coords ->
+      Printf.printf "straight-line drawing  : %b\n"
+        (Geometry.straight_line_planar g coords)
+    | None -> Printf.printf "straight-line drawing  : (no coordinates)\n");
+    Printf.printf "outer-face vertex      : %d\n" (Embedded.outer emb)
+  in
+  let term = Term.(const run $ family_arg $ n_arg $ seed_arg $ edges_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate or load a planar instance and validate it") term
+
+(* ------------------------------------------------------------------ *)
+(* sep                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let shrink_arg =
+  let doc = "Also apply the balanced-trim post-pass." in
+  Arg.(value & flag & info [ "shrink" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print the separator's vertices." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let svg_arg =
+  let doc = "Write an SVG drawing with the separator highlighted." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let sep_cmd =
+  let run family n seed edges tree shrink verbose svg =
+    let emb, g, d = instance_of ~family ~n ~seed ~edges in
+    print_instance emb g d;
+    let cfg = Config.of_embedded ~spanning:(spanning_of_string seed tree) emb in
+    let rounds = Rounds.create ~n:(Graph.n g) ~d () in
+    let r = Separator.find ~rounds cfg in
+    let verdict = Check.check_separator cfg r.Separator.separator in
+    Printf.printf "\nseparator phase    : %s (%d candidate(s))\n" r.Separator.phase
+      r.Separator.candidates_tried;
+    Printf.printf "separator size     : %d\n" verdict.Check.size;
+    Printf.printf "max component      : %d (limit %d)\n" verdict.Check.max_component
+      verdict.Check.limit;
+    Printf.printf "valid              : %b\n" verdict.Check.valid;
+    Printf.printf "charged rounds     : %.0f (%.0f x D)\n" (Rounds.total rounds)
+      (Rounds.total rounds /. float_of_int d);
+    if shrink then begin
+      let s = Separator.shrink cfg r.Separator.separator in
+      Printf.printf "after shrink       : %d nodes (balanced %b)\n" (List.length s)
+        (Check.balanced cfg s)
+    end;
+    if verbose then
+      Printf.printf "nodes: %s\n"
+        (String.concat " " (List.map string_of_int r.Separator.separator));
+    (match svg with
+    | Some path ->
+      Svg.write_file ~highlight:r.Separator.separator
+        ?closing:r.Separator.endpoints emb ~path;
+      Printf.printf "svg written       : %s\n" path
+    | None -> ());
+    exit (if verdict.Check.valid then 0 else 1)
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ tree_arg
+      $ shrink_arg $ verbose_arg $ svg_arg)
+  in
+  Cmd.v
+    (Cmd.info "sep" ~doc:"Compute and verify a deterministic cycle separator")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* dfs                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let root_arg =
+  let doc = "DFS root (default: the embedding's outer vertex)." in
+  Arg.(value & opt (some int) None & info [ "root"; "r" ] ~docv:"V" ~doc)
+
+let compare_arg =
+  let doc = "Also run Awerbuch's O(n) DFS in the message-level engine." in
+  Arg.(value & flag & info [ "compare-awerbuch" ] ~doc)
+
+let dfs_cmd =
+  let run family n seed edges root compare_awerbuch =
+    let emb, g, d = instance_of ~family ~n ~seed ~edges in
+    print_instance emb g d;
+    let root = match root with Some r -> r | None -> Embedded.outer emb in
+    let rounds = Rounds.create ~n:(Graph.n g) ~d () in
+    let r = Dfs.run ~rounds emb ~root in
+    let ok = Dfs.verify emb ~root r in
+    Printf.printf "\nDFS root           : %d\n" root;
+    Printf.printf "phases             : %d\n" r.Dfs.phases;
+    Printf.printf "max join iters     : %d\n" r.Dfs.max_join_iterations;
+    Printf.printf "tree depth         : %d\n" (Array.fold_left max 0 r.Dfs.depth);
+    Printf.printf "valid DFS tree     : %b\n" ok;
+    Printf.printf "charged rounds     : %.0f\n" (Rounds.total rounds);
+    if compare_awerbuch then begin
+      let aw = Awerbuch.run g ~root in
+      Printf.printf "awerbuch rounds    : %d (measured; ~4n)\n" aw.Awerbuch.rounds;
+      Printf.printf "awerbuch valid     : %b\n"
+        (Algo.is_dfs_tree g ~root ~parent:aw.Awerbuch.parent)
+    end;
+    exit (if ok then 0 else 1)
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ root_arg
+      $ compare_arg)
+  in
+  Cmd.v
+    (Cmd.info "dfs" ~doc:"Compute a DFS tree with the deterministic Õ(D) algorithm")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* bdd                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let target_arg =
+  let doc = "Hop-diameter target for the pieces." in
+  Arg.(value & opt int 8 & info [ "target" ] ~docv:"T" ~doc)
+
+let piece_arg =
+  let doc = "Piece-size target (used when --by-size is set)." in
+  Arg.(value & opt int 20 & info [ "piece" ] ~docv:"K" ~doc)
+
+let by_size_arg =
+  let doc = "Decompose by piece size (Lipton-Tarjan) instead of diameter." in
+  Arg.(value & flag & info [ "by-size" ] ~doc)
+
+let bdd_cmd =
+  let run family n seed edges target piece by_size =
+    let emb, g, d = instance_of ~family ~n ~seed ~edges in
+    print_instance emb g d;
+    let t, ok =
+      if by_size then begin
+        let t = Decomposition.build ~piece_target:piece emb in
+        (t, Decomposition.check emb ~piece_target:piece t)
+      end
+      else begin
+        let t = Decomposition.bounded_diameter ~diameter_target:target emb in
+        (t, Decomposition.check_bounded_diameter emb ~diameter_target:target t)
+      end
+    in
+    Printf.printf "\npieces            : %d\n" (List.length t.Decomposition.pieces);
+    Printf.printf "recursion levels  : %d\n" t.Decomposition.levels;
+    Printf.printf "separator nodes   : %d (%.1f%% of n)\n"
+      t.Decomposition.separator_count
+      (100.0 *. float_of_int t.Decomposition.separator_count
+      /. float_of_int (Graph.n g));
+    Printf.printf "valid             : %b\n" ok;
+    exit (if ok then 0 else 1)
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ target_arg
+      $ piece_arg $ by_size_arg)
+  in
+  Cmd.v
+    (Cmd.info "bdd"
+       ~doc:
+         "Recursive separator decomposition: bounded-diameter pieces (default) \
+          or bounded-size pieces (--by-size)")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:
+        "Deterministic distributed DFS via cycle separators in planar graphs \
+         (PODC 2025 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; sep_cmd; dfs_cmd; bdd_cmd ]))

@@ -1,0 +1,1 @@
+examples/arbitrary_graph.ml: Array Check Config Decomposition Dfs Embedded Fmt Fun Gen Graph List Planarity Printf Repro_core Repro_embedding Repro_graph Repro_util Rotation Separator

@@ -1,0 +1,1 @@
+examples/congest_primitives.ml: Algo Array Bandwidth Composed Embedded Engine Gen Graph Prim Printf Repro_congest Repro_embedding Repro_graph Repro_tree Rotation Rounds

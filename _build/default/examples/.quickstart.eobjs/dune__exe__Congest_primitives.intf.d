@@ -1,0 +1,1 @@
+examples/congest_primitives.mli:

@@ -1,0 +1,1 @@
+examples/decomposition.ml: Array Decomposition Embedded Gen Graph List Printf Repro_core Repro_embedding Repro_graph

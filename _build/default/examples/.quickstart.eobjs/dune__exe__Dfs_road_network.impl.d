@@ -1,0 +1,1 @@
+examples/dfs_road_network.ml: Algo Array Awerbuch Dfs Embedded Gen Graph List Printf Repro_baseline Repro_congest Repro_core Repro_embedding Repro_graph Rounds

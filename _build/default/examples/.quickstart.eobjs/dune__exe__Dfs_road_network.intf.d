@@ -1,0 +1,1 @@
+examples/dfs_road_network.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algo Check Config Embedded Fmt Gen Graph List Printf Repro_congest Repro_core Repro_embedding Repro_graph Rounds Separator

@@ -1,0 +1,73 @@
+(* Divide-and-conquer via recursive cycle separators — the Lipton–Tarjan
+   application pattern that motivated separators in the first place, driven
+   entirely by the paper's Theorem 1 machinery (library module
+   [Repro_core.Decomposition]).
+
+   Run with:  dune exec examples/decomposition.exe *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_core
+
+(* Greedy MIS baseline: repeatedly take a minimum-degree vertex. *)
+let greedy_mis g =
+  let n = Graph.n g in
+  let alive = Array.make n true in
+  let result = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let best = ref (-1) and best_deg = ref max_int in
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let deg =
+          Array.fold_left
+            (fun acc u -> if alive.(u) then acc + 1 else acc)
+            0 (Graph.neighbors g v)
+        in
+        if deg < !best_deg then begin
+          best := v;
+          best_deg := deg
+        end
+      end
+    done;
+    if !best < 0 then continue_ := false
+    else begin
+      result := !best :: !result;
+      alive.(!best) <- false;
+      Array.iter (fun u -> alive.(u) <- false) (Graph.neighbors g !best)
+    end
+  done;
+  !result
+
+let () =
+  let emb = Gen.grid_diag ~seed:11 ~rows:24 ~cols:24 () in
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  Printf.printf "planar instance: n=%d, m=%d\n" n (Graph.m g);
+
+  List.iter
+    (fun piece_target ->
+      let d = Decomposition.build ~piece_target emb in
+      assert (Decomposition.check emb ~piece_target d);
+      Printf.printf
+        "\npiece target %3d: %3d pieces, %d levels, %d separator nodes (%.1f%%)\n"
+        piece_target
+        (List.length d.Decomposition.pieces)
+        d.Decomposition.levels d.Decomposition.separator_count
+        (100.0 *. float_of_int d.Decomposition.separator_count /. float_of_int n);
+      let mis = Decomposition.independent_set emb d in
+      assert (Decomposition.is_independent g mis);
+      Printf.printf "  divide-and-conquer independent set: %d nodes\n"
+        (List.length mis))
+    [ 12; 20; 32 ];
+
+  let greedy = greedy_mis g in
+  Printf.printf "\ngreedy (min-degree) baseline:        %d nodes\n"
+    (List.length greedy);
+  Printf.printf
+    "\n(planar graphs always have an independent set of >= n/4 = %d; the\n"
+    (n / 4);
+  Printf.printf
+    " decomposition loses only separator nodes — O(n/sqrt(piece size)) by the\n";
+  Printf.printf
+    " Lipton–Tarjan analysis — so larger pieces close the gap to greedy.)\n"

@@ -1,0 +1,59 @@
+(* A "road network" scenario: the deterministic Õ(D) DFS of Theorem 2 on a
+   large thinned triangulated grid (city blocks with some diagonal avenues
+   and closed streets), compared head-to-head with Awerbuch's classic
+   O(n)-round distributed DFS.
+
+   Run with:  dune exec examples/dfs_road_network.exe *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_congest
+open Repro_core
+open Repro_baseline
+
+let () =
+  (* 30x30 blocks, diagonals added, 20% of the non-essential streets
+     closed — still connected and planar. *)
+  let emb =
+    Gen.thin ~seed:7 ~keep:0.8 (Gen.grid_diag ~seed:7 ~rows:30 ~cols:30 ())
+  in
+  let g = Embedded.graph emb in
+  let n = Graph.n g and m = Graph.m g in
+  let d = Algo.diameter g in
+  let root = Embedded.outer emb in
+  Printf.printf "road network: n=%d intersections, m=%d streets, D=%d\n" n m d;
+
+  (* --- This paper's DFS (Theorem 2), with charged round accounting. --- *)
+  let rounds = Rounds.create ~n ~d () in
+  let ours = Dfs.run ~rounds emb ~root in
+  assert (Dfs.verify emb ~root ours);
+  Printf.printf "\ndeterministic separator DFS (Theorem 2):\n";
+  Printf.printf "  recursion phases : %d (log_1.5 n = %.1f)\n" ours.Dfs.phases
+    (log (float_of_int n) /. log 1.5);
+  Printf.printf "  max JOIN iters   : %d\n" ours.Dfs.max_join_iterations;
+  Printf.printf "  charged rounds   : %.0f (= %.0f x D)\n" (Rounds.total rounds)
+    (Rounds.total rounds /. float_of_int d);
+  Printf.printf "  separator phases used per recursion:\n";
+  List.iter
+    (fun (phase, count) -> Printf.printf "    %-16s %d\n" phase count)
+    ours.Dfs.separator_phases;
+
+  (* --- Awerbuch's DFS, genuinely executed in the CONGEST engine. --- *)
+  let aw = Awerbuch.run g ~root in
+  assert (Algo.is_dfs_tree g ~root ~parent:aw.Awerbuch.parent);
+  Printf.printf "\nAwerbuch 1985 token DFS (message-level execution):\n";
+  Printf.printf "  measured rounds  : %d (~%.1f x n)\n" aw.Awerbuch.rounds
+    (float_of_int aw.Awerbuch.rounds /. float_of_int n);
+  Printf.printf "  messages         : %d\n" aw.Awerbuch.messages;
+
+  (* --- The two trees agree on what matters. --- *)
+  let depth_ours = ours.Dfs.depth in
+  let max_depth a = Array.fold_left max 0 a in
+  Printf.printf "\nboth outputs are valid DFS trees rooted at %d.\n" root;
+  Printf.printf "  our tree depth      : %d\n" (max_depth depth_ours);
+  Printf.printf "  awerbuch tree depth : %d\n" (max_depth aw.Awerbuch.depth);
+  Printf.printf
+    "\nshape: ours costs rounds ~ D*polylog(n); Awerbuch ~ 4n. On planar\n";
+  Printf.printf
+    "low-diameter networks the separator DFS wins asymptotically, which is\n";
+  Printf.printf "exactly the paper's Theorem 2 vs. the 1985 baseline.\n"

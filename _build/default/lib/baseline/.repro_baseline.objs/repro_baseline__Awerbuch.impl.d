@@ -1,0 +1,1 @@
+lib/baseline/awerbuch.ml: Array Bandwidth Engine Graph List Repro_congest Repro_graph

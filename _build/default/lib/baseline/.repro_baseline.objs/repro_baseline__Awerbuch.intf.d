@@ -1,0 +1,1 @@
+lib/baseline/awerbuch.mli: Graph Repro_graph

@@ -1,0 +1,1 @@
+lib/baseline/lipton_tarjan.ml: Algo Array Graph List Repro_graph Repro_tree Repro_util Spanning

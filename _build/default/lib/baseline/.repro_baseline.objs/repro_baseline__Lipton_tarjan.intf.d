@@ -1,0 +1,1 @@
+lib/baseline/lipton_tarjan.mli: Graph Repro_graph

@@ -1,0 +1,1 @@
+lib/baseline/random_sep.ml: Check Config Faces List Repro_congest Repro_core Repro_tree Repro_util Rng Rounds Separator Weights

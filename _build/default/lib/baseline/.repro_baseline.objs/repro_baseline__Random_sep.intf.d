@@ -1,0 +1,1 @@
+lib/baseline/random_sep.mli: Config Repro_congest Repro_core Repro_util Rounds

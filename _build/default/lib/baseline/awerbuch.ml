@@ -1,0 +1,148 @@
+(* Awerbuch's distributed DFS (Information Processing Letters, 1985) — the
+   O(n)-round baseline the paper's introduction positions against.
+
+   A single token performs the depth-first traversal.  When the token first
+   reaches a node, the node notifies all its neighbours that it has been
+   visited and waits two rounds before moving the token on, so the token is
+   never forwarded to an already-visited node: each edge carries the token
+   at most twice, and the notification overhead is constant per node, which
+   gives Θ(n) rounds in total.
+
+   This is a genuine message-level execution in the CONGEST engine; the
+   measured round count is what the experiments compare against the Õ(D)
+   algorithm. *)
+
+open Repro_graph
+open Repro_congest
+
+module Program = struct
+  type input = bool (* root? *)
+
+  type msg = Token of int (* sender's depth *) | Visited | Return
+
+  type state = {
+    nbrs : int array;
+    is_root : bool;
+    mutable parent : int; (* -1 root, -2 unvisited *)
+    mutable depth : int;
+    mutable known_visited : int list;
+    mutable holding_since : int; (* round we got the token; -1 otherwise *)
+    mutable notified : bool;
+    mutable next_child : int; (* cursor into nbrs *)
+    mutable done_ : bool;
+  }
+
+  type output = int * int (* parent, depth *)
+
+  let msg_bits = function
+    | Token d -> 2 + Bandwidth.bits_for_int d
+    | Visited | Return -> 2
+
+  let init ~n:_ ~id:_ ~neighbors is_root =
+    let st =
+      {
+        nbrs = neighbors;
+        is_root;
+        parent = (if is_root then -1 else -2);
+        depth = (if is_root then 0 else -1);
+        known_visited = [];
+        holding_since = (if is_root then 0 else -1);
+        notified = false;
+        next_child = 0;
+        done_ = false;
+      }
+    in
+    (* The root announces itself visited immediately. *)
+    let out =
+      if is_root then begin
+        st.notified <- true;
+        Array.to_list neighbors |> List.map (fun v -> (v, Visited))
+      end
+      else []
+    in
+    (st, out)
+
+  (* Forward the token to the first neighbour not known to be visited, or
+     return it to the parent. *)
+  let move_token st =
+    st.holding_since <- -1;
+    let rec pick i =
+      if i >= Array.length st.nbrs then begin
+        st.next_child <- i;
+        if st.parent >= 0 then [ (st.parent, Return) ]
+        else begin
+          st.done_ <- true;
+          []
+        end
+      end
+      else begin
+        let u = st.nbrs.(i) in
+        if u <> st.parent && not (List.mem u st.known_visited) then begin
+          st.next_child <- i + 1;
+          [ (u, Token st.depth) ]
+        end
+        else pick (i + 1)
+      end
+    in
+    pick st.next_child
+
+  let step ~round ~id:_ st ~inbox =
+    let out = ref [] in
+    List.iter
+      (function
+        | u, Visited -> st.known_visited <- u :: st.known_visited
+        | u, Token d ->
+          if st.parent = -2 then begin
+            st.parent <- u;
+            st.depth <- d + 1;
+            st.holding_since <- round;
+            st.notified <- false
+          end
+          else
+            (* The wait-two-rounds discipline makes this unreachable; answer
+               with Return defensively so the token is never lost. *)
+            out := (u, Return) :: !out
+        | _, Return -> st.holding_since <- round (* resume the search at once *))
+      inbox;
+    if st.holding_since >= 0 then begin
+      if not st.notified then begin
+        st.notified <- true;
+        Array.iter
+          (fun v -> if v <> st.parent then out := (v, Visited) :: !out)
+          st.nbrs;
+        (* Hold the token for the notification round. *)
+        st.holding_since <- round
+      end
+      else if round > st.holding_since then out := move_token st @ !out
+    end;
+    (st, !out)
+
+  let finished st =
+    (* A node is quiescent when it is visited and not holding the token;
+       global termination is detected by the engine (no messages left and
+       the root done).  The root stays active until the traversal ends. *)
+    if st.is_root then st.done_ else st.parent > -2 && st.holding_since < 0
+
+  let output st = (st.parent, st.depth)
+end
+
+module E = Engine.Make (Program)
+
+type result = {
+  parent : int array;
+  depth : int array;
+  rounds : int;
+  messages : int;
+}
+
+let run ?max_rounds g ~root =
+  let n = Graph.n g in
+  let max_rounds = match max_rounds with Some r -> r | None -> 50 * (n + 10) in
+  let input = Array.init n (fun v -> v = root) in
+  let out, stats = E.run ~max_rounds g ~input in
+  {
+    parent = Array.map fst out;
+    depth = Array.map snd out;
+    rounds = stats.Engine.rounds;
+    messages = stats.Engine.messages;
+  }

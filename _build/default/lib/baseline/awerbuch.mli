@@ -1,0 +1,13 @@
+(** Awerbuch's O(n)-round distributed DFS (IPL 1985) — message-level
+    execution in the CONGEST engine; the baseline of experiment E5. *)
+
+open Repro_graph
+
+type result = {
+  parent : int array; (** -1 at the root *)
+  depth : int array;
+  rounds : int; (** measured synchronous rounds, Θ(n) *)
+  messages : int;
+}
+
+val run : ?max_rounds:int -> Graph.t -> root:int -> result

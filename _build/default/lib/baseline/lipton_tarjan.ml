@@ -1,0 +1,69 @@
+(* Centralized separator baselines in the spirit of Lipton–Tarjan (1979).
+
+   - [level_separator]: the classic first step — a single BFS level whose
+     removal leaves both sides with at most 2n/3 vertices.  Always exists;
+     may be large (it is not a cycle).
+   - [best_fundamental_cycle]: exhaustive search over the fundamental cycles
+     of a BFS tree for the one minimizing the largest remaining component —
+     a centralized "best possible cycle separator for this tree" yardstick
+     for separator-quality experiments (O(m · (n + m)); small inputs only). *)
+
+open Repro_graph
+open Repro_tree
+
+let level_separator g ~root =
+  let n = Graph.n g in
+  let dist = Algo.bfs_dist g root in
+  let depth = Array.fold_left max 0 dist in
+  let count = Array.make (depth + 1) 0 in
+  Array.iter (fun d -> if d >= 0 then count.(d) <- count.(d) + 1) dist;
+  (* Prefix sums: pick the first level where the below-part exceeds n/3;
+     then both strict sides are at most 2n/3. *)
+  let rec pick level seen =
+    let seen = seen + count.(level) in
+    if 3 * seen >= n || level = depth then level else pick (level + 1) seen
+  in
+  let cut = pick 0 0 in
+  let members = ref [] in
+  Array.iteri (fun v d -> if d = cut then members := v :: !members) dist;
+  !members
+
+let max_component_after g removed_list =
+  let n = Graph.n g in
+  let removed = Array.make n false in
+  List.iter (fun v -> removed.(v) <- true) removed_list;
+  let uf = Repro_util.Union_find.create n in
+  Graph.iter_edges g (fun a b ->
+      if (not removed.(a)) && not removed.(b) then ignore (Repro_util.Union_find.union uf a b));
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    if not removed.(v) then best := max !best (Repro_util.Union_find.component_size uf v)
+  done;
+  !best
+
+let best_fundamental_cycle g ~root =
+  let parent = Spanning.bfs g ~root in
+  let depth = Algo.bfs_dist g root in
+  let path_between u v =
+    (* Walk both endpoints up to their meeting point. *)
+    let rec go u v left right =
+      if u = v then List.rev_append left (u :: right)
+      else if depth.(u) >= depth.(v) then go parent.(u) v (u :: left) right
+      else go u parent.(v) left (v :: right)
+    in
+    go u v [] []
+  in
+  let best = ref None in
+  Graph.iter_edges g (fun u v ->
+      if parent.(u) <> v && parent.(v) <> u then begin
+        let cycle = path_between u v in
+        let mc = max_component_after g cycle in
+        match !best with
+        | Some (_, bmc, bsize)
+          when bmc < mc || (bmc = mc && bsize <= List.length cycle) ->
+          ()
+        | _ -> best := Some (cycle, mc, List.length cycle)
+      end);
+  match !best with
+  | Some (cycle, mc, _) -> Some (cycle, mc)
+  | None -> None

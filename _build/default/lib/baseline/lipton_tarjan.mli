@@ -1,0 +1,14 @@
+(** Centralized separator baselines (Lipton–Tarjan style). *)
+
+open Repro_graph
+
+val level_separator : Graph.t -> root:int -> int list
+(** A BFS level splitting the graph into sides of at most 2n/3 vertices. *)
+
+val max_component_after : Graph.t -> int list -> int
+(** Largest component once the listed vertices are removed. *)
+
+val best_fundamental_cycle : Graph.t -> root:int -> (int list * int) option
+(** The BFS-tree fundamental cycle minimizing the largest remaining
+    component, with that component's size; [None] if the graph is a tree.
+    O(m · (n + m)) — yardstick for small instances. *)

@@ -1,0 +1,19 @@
+(** Randomized (sampling-based) cycle separator in the Ghaffari–Parter
+    style: face weights are estimated from random node samples and an
+    in-window estimate is trusted without verification. *)
+
+open Repro_core
+open Repro_congest
+
+type outcome = {
+  separator : int list;
+  balanced : bool; (** post-hoc exact check, for the experiments *)
+  estimate_used : int; (** -1 when the algorithm fell back *)
+  exact_weight : int;
+  fell_back : bool; (** no estimate landed in the window *)
+}
+
+val estimate_weight :
+  Config.t -> Repro_util.Rng.t -> samples:int -> u:int -> v:int -> int
+
+val find : ?rounds:Rounds.t -> seed:int -> samples:int -> Config.t -> outcome

@@ -1,0 +1,1 @@
+lib/congest/composed.ml: Array Engine Fun Graph Hashtbl List Prim Repro_graph Repro_util

@@ -1,0 +1,1 @@
+lib/congest/composed.mli: Graph Repro_graph

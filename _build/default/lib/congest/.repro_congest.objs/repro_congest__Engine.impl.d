@@ -1,0 +1,1 @@
+lib/congest/engine.ml: Array Bandwidth Graph Hashtbl List Repro_graph

@@ -1,0 +1,1 @@
+lib/congest/engine.mli: Graph Repro_graph

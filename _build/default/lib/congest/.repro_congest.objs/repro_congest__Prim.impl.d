@@ -1,0 +1,1 @@
+lib/congest/prim.ml: Array Bandwidth Engine Hashtbl List Queue Repro_graph

@@ -1,0 +1,1 @@
+lib/congest/prim.mli: Engine Graph Repro_graph

@@ -1,0 +1,1 @@
+lib/congest/rounds.ml: Fmt Hashtbl List

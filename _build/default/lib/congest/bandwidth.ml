@@ -1,0 +1,15 @@
+(* Bit-size accounting for CONGEST messages. *)
+
+let bits_for_int x =
+  let x = abs x in
+  let rec go acc v = if v = 0 then max acc 1 else go (acc + 1) (v lsr 1) in
+  go 0 x + 1 (* sign bit *)
+
+let bits_for_id ~n =
+  let rec go acc v = if v = 0 then max acc 1 else go (acc + 1) (v lsr 1) in
+  go 0 (max 1 (n - 1))
+
+(* The CONGEST model allows O(log n) bits per edge per round; the constant
+   here is generous enough for a tagged pair of identifiers plus a counter,
+   which is what every primitive in this repository sends. *)
+let default ~n = max 32 (8 * bits_for_id ~n)

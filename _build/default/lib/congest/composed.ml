@@ -1,0 +1,1121 @@
+(* Composed message-level subroutines.
+
+   The deterministic subroutines of Section 5.2 decompose into a constant
+   number of broadcasts and aggregations once the Phase-1 data (DFS orders,
+   depths, subtree intervals) is at the nodes.  This module executes that
+   decomposition for real: every step is a run of the synchronous engine,
+   and the returned statistics are the sums of genuinely executed rounds,
+   messages and bandwidth maxima.
+
+   Inputs follow the distributed representation of a spanning tree: each
+   node locally knows its parent, depth, LEFT/RIGHT order positions and the
+   size of its subtree (so its LEFT interval is [pi_l, pi_l + size)). *)
+
+open Repro_graph
+
+type tree_knowledge = {
+  parent : int array; (* -1 at the root *)
+  depth : int array;
+  pi_left : int array;
+  size : int array; (* subtree sizes *)
+}
+
+type stats = { rounds : int; messages : int; max_edge_bits : int }
+
+let no_stats = { rounds = 0; messages = 0; max_edge_bits = 0 }
+
+let add_stats a (b : Engine.stats) =
+  {
+    rounds = a.rounds + b.Engine.rounds;
+    messages = a.messages + b.Engine.messages;
+    max_edge_bits = max a.max_edge_bits b.Engine.max_edge_bits;
+  }
+
+(* Every node learns an O(log n)-bit value held by [source]: one broadcast
+   over the tree. *)
+let learn g (tk : tree_knowledge) ~source ~value stats =
+  (* Broadcasting requires the value at the tree root; chain two broadcasts:
+     (1) convergecast the value to the root (as a max over an indicator),
+     (2) broadcast it down.  Both are real engine runs. *)
+  let n = Graph.n g in
+  (* Values are all non-negative (orders, sizes), so -1 is a safe bottom
+     element that stays within the O(log n)-bit message budget. *)
+  let indicator = Array.init n (fun v -> if v = source then value else -1) in
+  let maxes, s1 = Prim.subtree_agg g ~parent:tk.parent ~op:Prim.Max ~values:indicator in
+  let root =
+    let r = ref (-1) in
+    Array.iteri (fun v p -> if p = -1 then r := v) tk.parent;
+    !r
+  in
+  let out, s2 = Prim.broadcast g ~parent:tk.parent ~root ~value:maxes.(root) in
+  (out.(0), add_stats (add_stats stats s1) s2)
+
+(* ------------------------------------------------------------------ *)
+(* DFS-ORDER-PROBLEM (Lemma 11): fragment merging with depth halving.   *)
+(*                                                                      *)
+(* Every node starts as its own fragment, knowing only local data: its  *)
+(* parent, its depth, its children in rotation order and (after one     *)
+(* subtree aggregation) the subtree sizes.  In each phase, fragments    *)
+(* whose current depth is odd join the fragment holding their root's    *)
+(* parent: the parent node computes the joining root's final relative   *)
+(* position locally (positions are final from the start because they    *)
+(* are derived from full subtree sizes), sends it across the one tree   *)
+(* edge, and the joining fragment broadcasts the offset to its members  *)
+(* with one part-wise aggregation.  Fragment depths halve each phase,   *)
+(* so O(log n) phases suffice.                                          *)
+(*                                                                      *)
+(* All communication is executed in the engine: per phase, three        *)
+(* one-round neighbour exchanges and three part-wise broadcasts.  With  *)
+(* the tree-pipelined part-wise fallback a phase costs O(depth + k)     *)
+(* executed rounds (k = live fragments); the shortcut black box of the  *)
+(* paper would make it Õ(D).                                            *)
+(* ------------------------------------------------------------------ *)
+
+type orders = { pi_left : int array; pi_right : int array }
+
+let dfs_orders g ~(children : int array array) ~(parent : int array)
+    ~(depth : int array) ~root =
+  let n = Graph.n g in
+  let stats = ref no_stats in
+  let run_and_record f =
+    let out, s = f () in
+    stats := add_stats !stats s;
+    out
+  in
+  (* Phase 0: subtree sizes (one convergecast). *)
+  let size =
+    run_and_record (fun () ->
+        Prim.subtree_agg g ~parent ~op:Prim.Sum ~values:(Array.make n 1))
+  in
+  (* A communication tree for the broadcasts: BFS, so the pipelined
+     part-wise aggregation pays depth_BFS, not depth_T. *)
+  let (bfs_parent, _), s0 = Prim.bfs_tree g ~root in
+  stats := add_stats !stats s0;
+  let frag = Array.init n Fun.id in
+  let fdepth = Array.copy depth in
+  let rel_l = Array.make n 0 in
+  let rel_r = Array.make n 0 in
+  let all_merged () = Array.for_all (fun f -> f = frag.(root)) frag in
+  let phases = ref 0 in
+  while not (all_merged ()) do
+    incr phases;
+    if !phases > 64 then invalid_arg "Composed.dfs_orders: too many phases";
+    (* 1. Joining fragment roots ping their tree parents. *)
+    let joining v = frag.(v) = v && v <> root && fdepth.(v) land 1 = 1 in
+    let sends =
+      Array.init n (fun v -> if joining v then [ (parent.(v), 1) ] else [])
+    in
+    let pings = run_and_record (fun () -> Prim.exchange g ~sends) in
+    (* 2. Each parent z answers every joining child with its final relative
+       LEFT/RIGHT positions and z's fragment id — all z-local data. *)
+    let answers_l = Array.make n [] in
+    let answers_r = Array.make n [] in
+    let answers_f = Array.make n [] in
+    Array.iteri
+      (fun z received ->
+        List.iter
+          (fun (child, _) ->
+            (* LEFT priority: counterclockwise-most child first, i.e. the
+               reverse of the clockwise children order. *)
+            let cs = children.(z) in
+            let k = Array.length cs in
+            let delta_l = ref (rel_l.(z) + 1) in
+            (let continue_ = ref true in
+             for i = k - 1 downto 0 do
+               if !continue_ then
+                 if cs.(i) = child then continue_ := false
+                 else delta_l := !delta_l + size.(cs.(i))
+             done);
+            let delta_r = ref (rel_r.(z) + 1) in
+            (let continue_ = ref true in
+             for i = 0 to k - 1 do
+               if !continue_ then
+                 if cs.(i) = child then continue_ := false
+                 else delta_r := !delta_r + size.(cs.(i))
+             done);
+            answers_l.(z) <- (child, !delta_l) :: answers_l.(z);
+            answers_r.(z) <- (child, !delta_r) :: answers_r.(z);
+            answers_f.(z) <- (child, frag.(z)) :: answers_f.(z))
+          received)
+      pings;
+    let got_l = run_and_record (fun () -> Prim.exchange g ~sends:answers_l) in
+    let got_r = run_and_record (fun () -> Prim.exchange g ~sends:answers_r) in
+    let got_f = run_and_record (fun () -> Prim.exchange g ~sends:answers_f) in
+    (* 3. Broadcast (delta_l, delta_r, new fragment id) within each OLD
+       fragment: three part-wise MAX aggregations, joining roots holding
+       the payload and everyone else -1 (deltas are >= 0). *)
+    let pick got v = match got.(v) with [ (_, x) ] -> x | _ -> 0 in
+    let broadcast payload =
+      let values =
+        Array.init n (fun v -> if frag.(v) = v then payload v else -1)
+      in
+      run_and_record (fun () ->
+          Prim.partwise g ~parent:bfs_parent ~op:Prim.Max ~parts:frag ~values)
+    in
+    let bl = broadcast (fun v -> if joining v then pick got_l v else 0) in
+    let br = broadcast (fun v -> if joining v then pick got_r v else 0) in
+    let bf = broadcast (fun v -> if joining v then pick got_f v else frag.(v)) in
+    (* 4. Local updates. *)
+    for v = 0 to n - 1 do
+      rel_l.(v) <- rel_l.(v) + bl.(v);
+      rel_r.(v) <- rel_r.(v) + br.(v);
+      frag.(v) <- bf.(v);
+      fdepth.(v) <- fdepth.(v) / 2
+    done
+  done;
+  ({ pi_left = rel_l; pi_right = rel_r }, !phases, !stats)
+
+(* ------------------------------------------------------------------ *)
+(* WEIGHTS-PROBLEM (Lemma 12), executed.                                *)
+(*                                                                      *)
+(* After Phase 1 every node holds: parent, depth, subtree size, its     *)
+(* LEFT/RIGHT positions and its full clockwise rotation.  The weight of *)
+(* a real fundamental edge e = uv (Definition 2) is then computable by  *)
+(* its two endpoints from six one-round exchanges across e itself:      *)
+(* positions/depth/size both ways, the case decided at the deeper       *)
+(* endpoint, and the far endpoint's locally-computed p-term.            *)
+(* ------------------------------------------------------------------ *)
+
+type local_view = {
+  lparent : int array;
+  ldepth : int array;
+  lsize : int array;
+  lrot : int array array; (* full clockwise neighbour order *)
+  lchildren : int array array; (* tree children, clockwise *)
+  lpi_l : int array;
+  lpi_r : int array;
+}
+
+(* Rotation position of [y] around [x], normalized so the parent edge is at
+   0 (the root keeps its rotation's own origin) — node-local. *)
+let lnpos lv x y =
+  let rot = lv.lrot.(x) in
+  let d = Array.length rot in
+  let find t =
+    let p = ref (-1) in
+    Array.iteri (fun i z -> if z = t then p := i) rot;
+    !p
+  in
+  let anchor = if lv.lparent.(x) >= 0 then find lv.lparent.(x) else 0 in
+  ((find y - anchor) + d) mod d
+
+(* pi_left of a child: the node's own position plus the sizes of the
+   children explored before it (LEFT priority = counterclockwise-most
+   first, i.e. reverse clockwise order) — node-local. *)
+let child_pi_left lv x c =
+  let cs = lv.lchildren.(x) in
+  let acc = ref (lv.lpi_l.(x) + 1) in
+  (let continue_ = ref true in
+   for i = Array.length cs - 1 downto 0 do
+     if !continue_ then
+       if cs.(i) = c then continue_ := false else acc := !acc + lv.lsize.(cs.(i))
+   done);
+  !acc
+
+let child_pi_right lv x c =
+  let cs = lv.lchildren.(x) in
+  let acc = ref (lv.lpi_r.(x) + 1) in
+  (let continue_ = ref true in
+   for i = 0 to Array.length cs - 1 do
+     if !continue_ then
+       if cs.(i) = c then continue_ := false else acc := !acc + lv.lsize.(cs.(i))
+   done);
+  !acc
+
+(* The child of [x] whose subtree contains LEFT position [pi] — local. *)
+let lchild_toward lv x pi =
+  let cs = lv.lchildren.(x) in
+  let ans = ref (-1) in
+  Array.iter
+    (fun c ->
+      let lo = child_pi_left lv x c in
+      if pi >= lo && pi < lo + lv.lsize.(c) then ans := c)
+    cs;
+  !ans
+
+(* Case encoding exchanged across the edge. *)
+let case_unrelated = 0
+and case_anc_right = 1 (* ancestor, path child before the edge clockwise *)
+and case_anc_left = 2
+
+(* p-term of endpoint [x] for the face of the edge (x, other): the sizes of
+   x's children hanging inside — all conditions are rotation-local. *)
+let p_term_local lv ~case ~at_ancestor_end x ~other ~w1 =
+  let cs = lv.lchildren.(x) in
+  let total = ref 0 in
+  Array.iter
+    (fun c ->
+      let inside =
+        if case = case_unrelated then
+          if at_ancestor_end (* x plays the role of u *) then
+            lnpos lv x c < lnpos lv x other
+          else lnpos lv x c > lnpos lv x other
+        else if at_ancestor_end then begin
+          let pc = lnpos lv x c
+          and pv = lnpos lv x other
+          and pw = lnpos lv x w1 in
+          if case = case_anc_right then pw < pc && pc < pv else pv < pc && pc < pw
+        end
+        else if case = case_anc_right then lnpos lv x c > lnpos lv x other
+        else lnpos lv x c < lnpos lv x other
+      in
+      if inside && c <> w1 then total := !total + lv.lsize.(c))
+    cs;
+  !total
+
+let weights g (lv : local_view) =
+  let n = Graph.n g in
+  let stats = ref no_stats in
+  let run f =
+    let out, s = f () in
+    stats := add_stats !stats s;
+    out
+  in
+  (* Fundamental edges, as seen locally: graph neighbours that are not the
+     parent and not a child. *)
+  let fundamental v =
+    Graph.neighbors g v |> Array.to_list
+    |> List.filter (fun u -> lv.lparent.(v) <> u && lv.lparent.(u) <> v)
+  in
+  let swap_all field =
+    let sends = Array.init n (fun v -> List.map (fun u -> (u, field v)) (fundamental v)) in
+    let got = run (fun () -> Prim.exchange g ~sends) in
+    (* received.(v) = assoc list from neighbour to its field value *)
+    got
+  in
+  let got_pl = swap_all (fun v -> lv.lpi_l.(v)) in
+  let got_pr = swap_all (fun v -> lv.lpi_r.(v)) in
+  let got_d = swap_all (fun v -> lv.ldepth.(v)) in
+  let look got v u = List.assoc u got.(v) in
+  (* Each endpoint decides, for each incident fundamental edge, whether it
+     is the "u" end (smaller LEFT position) and which case applies; the u
+     end then sends the case across so the v end can compute its p-term. *)
+  let case_of v u =
+    (* v plays "u" (normalized first endpoint); u is the far end. *)
+    let pl_far = look got_pl v u in
+    if pl_far >= lv.lpi_l.(v) && pl_far < lv.lpi_l.(v) + lv.lsize.(v) then begin
+      (* ancestor case: orientation from the rotation at v. *)
+      let w1 = lchild_toward lv v pl_far in
+      if lnpos lv v u > lnpos lv v w1 then case_anc_right else case_anc_left
+    end
+    else case_unrelated
+  in
+  let case_sends =
+    Array.init n (fun v ->
+        List.filter_map
+          (fun u ->
+            if lv.lpi_l.(v) < look got_pl v u then Some (u, case_of v u) else None)
+          (fundamental v))
+  in
+  let got_case = run (fun () -> Prim.exchange g ~sends:case_sends) in
+  (* The far (v) endpoint answers with its p-term for that case. *)
+  let p_sends =
+    Array.init n (fun x ->
+        List.map
+          (fun (u_end, case) ->
+            (u_end, p_term_local lv ~case ~at_ancestor_end:false x ~other:u_end ~w1:(-1)))
+          got_case.(x))
+  in
+  let got_p = run (fun () -> Prim.exchange g ~sends:p_sends) in
+  (* Now every "u" endpoint computes the weight locally. *)
+  let results = ref [] in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        if lv.lpi_l.(u) < look got_pl u v then begin
+          let case = case_of u v in
+          let pv = look got_p u v in
+          let pl_v = look got_pl u v
+          and pr_v = look got_pr u v
+          and d_v = look got_d u v in
+          let w =
+            if case = case_unrelated then begin
+              let pu = p_term_local lv ~case ~at_ancestor_end:true u ~other:v ~w1:(-1) in
+              pu + pv + pl_v - (lv.lpi_l.(u) + lv.lsize.(u)) + 1
+            end
+            else begin
+              let w1 = lchild_toward lv u pl_v in
+              let pu = p_term_local lv ~case ~at_ancestor_end:true u ~other:v ~w1 in
+              if case = case_anc_right then
+                pu + pv + (pl_v - child_pi_left lv u w1) - (d_v - (lv.ldepth.(u) + 1))
+              else
+                pu + pv + (pr_v - child_pi_right lv u w1) - (d_v - (lv.ldepth.(u) + 1))
+            end
+          in
+          results := ((u, v), w) :: !results
+        end)
+      (fundamental u)
+  done;
+  (!results, !stats)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1 (Section 5.3), executed end to end: from purely local data   *)
+(* (parent pointers, depths, rotations) to the full local view — sizes, *)
+(* LEFT/RIGHT orders — via subtree aggregation and fragment merging.    *)
+(* ------------------------------------------------------------------ *)
+
+let phase1 g ~(rot_orders : int array array) ~(parent : int array)
+    ~(depth : int array) ~root =
+  let n = Graph.n g in
+  (* Tree children in clockwise order starting after the parent edge —
+     node-local from the rotation. *)
+  let children =
+    Array.init n (fun v ->
+        let rot = rot_orders.(v) in
+        let d = Array.length rot in
+        let anchor =
+          if parent.(v) < 0 then 0
+          else begin
+            let p = ref 0 in
+            Array.iteri (fun i y -> if y = parent.(v) then p := i) rot;
+            !p
+          end
+        in
+        let out = ref [] in
+        for k = d - 1 downto 0 do
+          let y = rot.((anchor + k) mod d) in
+          if parent.(y) = v then out := y :: !out
+        done;
+        Array.of_list !out)
+  in
+  let stats = ref no_stats in
+  let size, s1 =
+    Prim.subtree_agg g ~parent ~op:Prim.Sum ~values:(Array.make n 1)
+  in
+  stats := add_stats !stats s1;
+  let orders, _, s2 = dfs_orders g ~children ~parent ~depth ~root in
+  stats :=
+    {
+      rounds = !stats.rounds + s2.rounds;
+      messages = !stats.messages + s2.messages;
+      max_edge_bits = max !stats.max_edge_bits s2.max_edge_bits;
+    };
+  ( {
+      lparent = parent;
+      ldepth = depth;
+      lsize = size;
+      lrot = rot_orders;
+      lchildren = children;
+      lpi_l = orders.pi_left;
+      lpi_r = orders.pi_right;
+    },
+    !stats )
+
+(* Is [x] an ancestor of [z]?  Purely local once pi_left(z) is known. *)
+let is_ancestor_local (tk : tree_knowledge) ~anc ~desc_pi =
+  desc_pi >= tk.pi_left.(anc) && desc_pi < tk.pi_left.(anc) + tk.size.(anc)
+
+(* LCA-PROBLEM (Lemma 14): every node learns the LCA of u and v; executed
+   as two broadcasts plus one aggregation. *)
+let lca g (tk : tree_knowledge) ~u ~v =
+  let stats = no_stats in
+  let pi_u, stats = learn g tk ~source:u ~value:tk.pi_left.(u) stats in
+  let pi_v, stats = learn g tk ~source:v ~value:tk.pi_left.(v) stats in
+  (* Each node checks locally whether it is a common ancestor; the LCA is
+     the deepest one — one MAX aggregation over (depth, id). *)
+  let n = Graph.n g in
+  let enc x d = (d * (n + 1)) + x in
+  let values =
+    Array.init n (fun x ->
+        if is_ancestor_local tk ~anc:x ~desc_pi:pi_u
+           && is_ancestor_local tk ~anc:x ~desc_pi:pi_v
+        then enc x tk.depth.(x)
+        else -1)
+  in
+  let maxes, s = Prim.subtree_agg g ~parent:tk.parent ~op:Prim.Max ~values in
+  let stats = add_stats stats s in
+  let root =
+    let r = ref (-1) in
+    Array.iteri (fun x p -> if p = -1 then r := x) tk.parent;
+    !r
+  in
+  let best, s2 = Prim.broadcast g ~parent:tk.parent ~root ~value:maxes.(root) in
+  let stats = add_stats stats s2 in
+  (best.(0) mod (n + 1), stats)
+
+(* MARK-PATH-PROBLEM (Lemma 13): each node learns whether it lies on the
+   tree path between u and v.  With the Phase-1 data this needs only the
+   two endpoint positions and the LCA depth: x is on the path iff x is an
+   ancestor of u or of v, and the LCA is an ancestor of x. *)
+let mark_path g (tk : tree_knowledge) ~u ~v =
+  let stats = no_stats in
+  let pi_u, stats = learn g tk ~source:u ~value:tk.pi_left.(u) stats in
+  let pi_v, stats = learn g tk ~source:v ~value:tk.pi_left.(v) stats in
+  let w, stats' = lca g tk ~u ~v in
+  let stats =
+    {
+      rounds = stats.rounds + stats'.rounds;
+      messages = stats.messages + stats'.messages;
+      max_edge_bits = max stats.max_edge_bits stats'.max_edge_bits;
+    }
+  in
+  let pi_w, stats = learn g tk ~source:w ~value:tk.pi_left.(w) stats in
+  let size_w, stats = learn g tk ~source:w ~value:tk.size.(w) stats in
+  let n = Graph.n g in
+  let marked =
+    Array.init n (fun x ->
+        (is_ancestor_local tk ~anc:x ~desc_pi:pi_u
+        || is_ancestor_local tk ~anc:x ~desc_pi:pi_v)
+        && tk.pi_left.(x) >= pi_w
+        && tk.pi_left.(x) < pi_w + size_w)
+  in
+  (marked, stats)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end executed separator, Phase 3 case (Section 5.3): when some *)
+(* real fundamental face has weight in [n/3, 2n/3], its border path is  *)
+(* a cycle separator (Lemma 5).  Pipeline: Phase 1, executed weights, a *)
+(* RANGE aggregation to elect an in-range edge, and the marking of its  *)
+(* border path.  Returns None when no face is in range (the remaining   *)
+(* phases are run in the charged model by Repro_core.Separator).        *)
+(* ------------------------------------------------------------------ *)
+
+let separator_phase3 g ~rot_orders ~parent ~depth ~root =
+  let n = Graph.n g in
+  let lv, s_phase1 = phase1 g ~rot_orders ~parent ~depth ~root in
+  let edge_weights, s_weights = weights g lv in
+  let stats = ref s_phase1 in
+  let bump s =
+    stats :=
+      {
+        rounds = !stats.rounds + s.rounds;
+        messages = !stats.messages + s.messages;
+        max_edge_bits = max !stats.max_edge_bits s.max_edge_bits;
+      }
+  in
+  bump s_weights;
+  (* RANGE-PROBLEM: elect one in-range edge, known to everyone — one
+     part-wise MAX over the single whole-graph part, with the edge encoded
+     into an identifier held by its first endpoint. *)
+  let (bfs_parent, _), s_bfs = Prim.bfs_tree g ~root in
+  bump (add_stats no_stats s_bfs);
+  let encode (u, v) = (u * n) + v in
+  let candidate =
+    Array.make n (-1) (* per node: its best in-range incident edge *)
+  in
+  List.iter
+    (fun ((u, v), w) ->
+      if 3 * w >= n && 3 * w <= 2 * n then
+        candidate.(u) <- max candidate.(u) (encode (u, v)))
+    edge_weights;
+  let elected, s_range =
+    Prim.partwise g ~parent:bfs_parent ~op:Prim.Max ~parts:(Array.make n 0)
+      ~values:candidate
+  in
+  bump (add_stats no_stats s_range);
+  if elected.(root) < 0 then (None, !stats)
+  else begin
+    let u = elected.(root) / n and v = elected.(root) mod n in
+    let tk =
+      { parent = lv.lparent; depth = lv.ldepth; pi_left = lv.lpi_l; size = lv.lsize }
+    in
+    let marked, s_mark = mark_path g tk ~u ~v in
+    bump s_mark;
+    (Some ((u, v), marked), !stats)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* DETECT-FACE-PROBLEM (Lemma 15), executed: every node learns whether  *)
+(* it lies on the border or in the interior of the fundamental face of  *)
+(* a given real fundamental edge.                                       *)
+(*                                                                      *)
+(* The endpoints compute locally (rotation + subtree sizes) the          *)
+(* interval of LEFT positions taken by their descendants hanging inside *)
+(* the face (the paper's I(u), I(v)); these intervals plus the          *)
+(* endpoints' positions, the case and the LCA data are broadcast — a   *)
+(* constant number of engine runs — after which every node decides      *)
+(* membership with Remark 1's local tests.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Interval of LEFT (or RIGHT) positions of the descendants of [x] hanging
+   inside the face — x-local.  Returns (lo, len). *)
+let inside_interval lv ~case ~at_ancestor_end ~pi_right_order x ~other ~w1 =
+  let cs = lv.lchildren.(x) in
+  let lo = ref max_int and len = ref 0 in
+  Array.iter
+    (fun c ->
+      let inside =
+        if case = case_unrelated then
+          if at_ancestor_end then lnpos lv x c < lnpos lv x other
+          else lnpos lv x c > lnpos lv x other
+        else if at_ancestor_end then begin
+          let pc = lnpos lv x c and pv = lnpos lv x other and pw = lnpos lv x w1 in
+          if case = case_anc_right then pw < pc && pc < pv else pv < pc && pc < pw
+        end
+        else if case = case_anc_right then lnpos lv x c > lnpos lv x other
+        else lnpos lv x c < lnpos lv x other
+      in
+      if inside && c <> w1 then begin
+        let start =
+          if pi_right_order then child_pi_right lv x c else child_pi_left lv x c
+        in
+        lo := min !lo start;
+        len := !len + lv.lsize.(c)
+      end)
+    cs;
+  if !len = 0 then (0, 0) else (!lo, !len)
+
+type face_membership = { border : bool array; inside : bool array }
+
+let detect_face g (lv : local_view) ~u ~v =
+  let n = Graph.n g in
+  let stats = ref no_stats in
+  let tk =
+    { parent = lv.lparent; depth = lv.ldepth; pi_left = lv.lpi_l; size = lv.lsize }
+  in
+  let bump s =
+    stats :=
+      {
+        rounds = !stats.rounds + s.rounds;
+        messages = !stats.messages + s.messages;
+        max_edge_bits = max !stats.max_edge_bits s.max_edge_bits;
+      }
+  in
+  (* Border: the executed MARK-PATH. *)
+  let border, s_border = mark_path g tk ~u ~v in
+  bump s_border;
+  (* The u endpoint (smaller LEFT position) decides the case; all data it
+     broadcasts is u-local. *)
+  let u, v = if lv.lpi_l.(u) < lv.lpi_l.(v) then (u, v) else (v, u) in
+  let is_anc =
+    lv.lpi_l.(v) >= lv.lpi_l.(u) && lv.lpi_l.(v) < lv.lpi_l.(u) + lv.lsize.(u)
+  in
+  let w1 = if is_anc then lchild_toward lv u lv.lpi_l.(v) else -1 in
+  let case =
+    if not is_anc then case_unrelated
+    else if lnpos lv u v > lnpos lv u w1 then case_anc_right
+    else case_anc_left
+  in
+  let right_order = case = case_anc_left in
+  let iu_lo, iu_len =
+    inside_interval lv ~case ~at_ancestor_end:true ~pi_right_order:right_order u
+      ~other:v ~w1
+  in
+  let iv_lo, iv_len =
+    inside_interval lv ~case ~at_ancestor_end:false ~pi_right_order:right_order v
+      ~other:u ~w1:(-1)
+  in
+  (* Broadcast the decision data (one [learn] run per value). *)
+  let bcast source value =
+    let out, s = learn g tk ~source ~value no_stats in
+    bump s;
+    out
+  in
+  let case_b = bcast u case in
+  let pi = if case_b = case_anc_left then lv.lpi_r else lv.lpi_l in
+  let pi_u = bcast u pi.(u) in
+  let pi_v = bcast v pi.(v) in
+  let size_u = bcast u lv.lsize.(u) in
+  let size_v = bcast v lv.lsize.(v) in
+  let iu_lo = bcast u iu_lo and iu_len = bcast u iu_len in
+  let iv_lo = bcast v iv_lo and iv_len = bcast v iv_len in
+  let pi_w1 =
+    bcast u (if case_b = case_unrelated then 0 else
+             if case_b = case_anc_left then child_pi_right lv u w1
+             else child_pi_left lv u w1)
+  in
+  (* In the ancestor cases the subtree-membership tests still need LEFT
+     positions (subtree intervals are LEFT intervals). *)
+  let pil_u = bcast u lv.lpi_l.(u) in
+  let pil_v = bcast v lv.lpi_l.(v) in
+  (* Local decision at every node. *)
+  let inside = Array.make n false in
+  for z = 0 to n - 1 do
+    if not border.(z) then begin
+      let in_tu =
+        lv.lpi_l.(z) > pil_u && lv.lpi_l.(z) < pil_u + size_u
+      in
+      let in_tv =
+        lv.lpi_l.(z) >= pil_v && lv.lpi_l.(z) < pil_v + size_v
+      in
+      let pz = pi.(z) in
+      inside.(z) <-
+        (if case_b = case_unrelated then
+           if in_tu then pz >= iu_lo && pz < iu_lo + iu_len
+           else if in_tv then pz >= iv_lo && pz < iv_lo + iv_len
+           else pz > pi_u + size_u - 1 && pz < pi_v
+         else if not in_tu then false
+         else if in_tv then pz >= iv_lo && pz < iv_lo + iv_len
+         else if pz >= iu_lo && pz < iu_lo + iu_len then true
+         else pz >= pi_w1 && pz < pi_v)
+    end
+  done;
+  ({ border; inside }, !stats)
+
+(* ------------------------------------------------------------------ *)
+(* Spanning forests by Borůvka (Lemma 9), executed.                     *)
+(*                                                                      *)
+(* Each phase: every node learns its neighbours' fragment ids (one      *)
+(* exchange), proposes its cheapest outgoing edge, the fragment elects  *)
+(* the minimum with one part-wise aggregation (parts = fragments), the  *)
+(* winning endpoint informs the other side (one exchange), and the      *)
+(* merged fragment ids are broadcast (one more part-wise aggregation).  *)
+(* With Lemma 9's 0/1 weights — 0 inside a part of the input partition, *)
+(* 1 across — stopping as soon as every cheapest outgoing edge has      *)
+(* weight 1 yields a spanning tree of every part, in parallel.          *)
+(*                                                                      *)
+(* Chain resolution inside a phase (fragments whose chosen edges form   *)
+(* merge trees) is computed from the elected edges, which every node    *)
+(* already holds — the classic pointer-halving rounds are elided and    *)
+(* their O(log n) factor is part of the charged model.                  *)
+(* ------------------------------------------------------------------ *)
+
+let spanning_forest g ?parts () =
+  let n = Graph.n g in
+  let parts = match parts with Some p -> p | None -> Array.make n 0 in
+  let stats = ref no_stats in
+  let run f =
+    let out, s = f () in
+    stats := add_stats !stats s;
+    out
+  in
+  let frag = Array.init n Fun.id in
+  let chosen = Hashtbl.create n in
+  let encode u v = if u < v then (u * n) + v else (v * n) + u in
+  (* One communication tree for all the part-wise aggregations. *)
+  let bcast_parent = run (fun () -> Prim.bfs_tree g ~root:0) |> fst in
+  let continue_ = ref (n > 1) in
+  let phases = ref 0 in
+  while !continue_ do
+    incr phases;
+    if !phases > 64 then invalid_arg "Composed.spanning_forest: too many phases";
+    (* 1. Learn neighbour fragment ids. *)
+    let sends =
+      Array.init n (fun v ->
+          Graph.neighbors g v |> Array.to_list |> List.map (fun u -> (u, frag.(v))))
+    in
+    let nbr_frags = run (fun () -> Prim.exchange g ~sends) in
+    (* 2. Local cheapest outgoing edge: weight 0 inside the input part,
+       weight 1 across parts (Lemma 9's function). *)
+    (* The sentinel must still fit the O(log n) message budget. *)
+    let sentinel = n * n in
+    let candidate =
+      Array.init n (fun v ->
+          List.fold_left
+            (fun acc (u, fu) ->
+              if fu = frag.(v) then acc
+              else begin
+                let w = if parts.(u) = parts.(v) then 0 else 1 in
+                (* Lemma 9 stops before crossing parts. *)
+                if w = 1 then acc
+                else min acc (encode u v)
+              end)
+            sentinel nbr_frags.(v))
+    in
+    (* 3. Fragment-wide minimum (part-wise aggregation over fragments). *)
+    let elected =
+      run (fun () ->
+          Prim.partwise g ~parent:bcast_parent ~op:Prim.Min ~parts:frag
+            ~values:candidate)
+    in
+    (* 4. Record the elected edges and inform the far endpoints. *)
+    let uf = Repro_util.Union_find.create n in
+    Array.iteri (fun v f -> ignore (Repro_util.Union_find.union uf v f)) frag;
+    let merged = ref false in
+    Array.iteri
+      (fun v e ->
+        if v = frag.(v) && e <> sentinel then begin
+          let a = e / n and b = e mod n in
+          if Repro_util.Union_find.union uf a b then begin
+            merged := true;
+            Hashtbl.replace chosen (encode a b) ()
+          end
+        end)
+      elected;
+    if not !merged then continue_ := false
+    else begin
+      (* 5. Broadcast the new fragment ids (canonical representative). *)
+      for v = 0 to n - 1 do
+        frag.(v) <- Repro_util.Union_find.find uf v
+      done;
+      (* The id refresh costs one more part-wise broadcast. *)
+      let _ =
+        run (fun () ->
+            Prim.partwise g ~parent:bcast_parent ~op:Prim.Min ~parts:frag
+              ~values:(Array.init n Fun.id))
+      in
+      ()
+    end
+  done;
+  (* Root every fragment at its representative and orient by flooding over
+     the chosen edges only. *)
+  let forest_edges =
+    Hashtbl.fold (fun e () acc -> (e / n, e mod n) :: acc) chosen []
+  in
+  let forest = Graph.of_edges ~n forest_edges in
+  let roots = Array.init n (fun v -> frag.(v) = v) in
+  let (parent, depth), s = Prim.bfs_forest forest ~roots in
+  stats := add_stats !stats s;
+  ((parent, depth, frag), !phases, !stats)
+
+(* ------------------------------------------------------------------ *)
+(* RE-ROOT-PROBLEM (Lemma 19), executed: same tree edges, new root.     *)
+(*                                                                      *)
+(* Two broadcasts (the new root's LEFT position and depth) plus one      *)
+(* ancestor-MAX aggregation (Proposition 5) so every node learns the     *)
+(* depth of its LCA with the new root; then all updates are local.       *)
+(* Note: Lemma 19's printed update for nodes that are neither ancestors  *)
+(* nor descendants of the new root (d(v) + d(v0)) omits the -2*d(LCA)    *)
+(* term; the implementation computes the true distance and the suite     *)
+(* checks it against centralized re-rooting.                             *)
+(* ------------------------------------------------------------------ *)
+
+let reroot g (lv : local_view) ~new_root =
+  let n = Graph.n g in
+  let tk =
+    { parent = lv.lparent; depth = lv.ldepth; pi_left = lv.lpi_l; size = lv.lsize }
+  in
+  let pi_r0, stats = learn g tk ~source:new_root ~value:lv.lpi_l.(new_root) no_stats in
+  let d_r0, stats = learn g tk ~source:new_root ~value:lv.ldepth.(new_root) stats in
+  (* Depth of every node's LCA with the new root: the deepest of its own
+     ancestors (itself included) that is also an ancestor of the new
+     root — one executed ancestor-MAX aggregation. *)
+  let anc_values =
+    Array.init n (fun a ->
+        if pi_r0 >= lv.lpi_l.(a) && pi_r0 < lv.lpi_l.(a) + lv.lsize.(a) then
+          lv.ldepth.(a) + 1
+        else 0)
+  in
+  let lca_depth1, s_anc =
+    Prim.ancestor_agg g ~parent:lv.lparent ~op:Prim.Max ~values:anc_values
+  in
+  let stats = add_stats stats s_anc in
+  let parent' = Array.make n (-1) in
+  let depth' = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let is_anc = pi_r0 >= lv.lpi_l.(v) && pi_r0 < lv.lpi_l.(v) + lv.lsize.(v) in
+    if v = new_root then begin
+      parent'.(v) <- -1;
+      depth'.(v) <- 0
+    end
+    else begin
+      let d_lca = lca_depth1.(v) - 1 in
+      depth'.(v) <- lv.ldepth.(v) + d_r0 - (2 * d_lca);
+      if is_anc then
+        (* Flip towards the new root: the child whose interval holds it. *)
+        parent'.(v) <- lchild_toward lv v pi_r0
+      else parent'.(v) <- lv.lparent.(v)
+    end
+  done;
+  ((parent', depth'), stats)
+
+(* ------------------------------------------------------------------ *)
+(* HIDDEN-PROBLEM (Lemma 16), executed: given the fundamental edge e    *)
+(* and a T-leaf t inside its face, every node learns which of its own   *)
+(* incident real fundamental edges hide t (Definition 4).               *)
+(*                                                                      *)
+(* After DETECT-FACE and two broadcasts (t's LEFT and RIGHT positions),  *)
+(* the verdict for an edge f = ab is computed at its pi-smaller          *)
+(* endpoint from node-local data plus one-round exchanges across f       *)
+(* itself (positions, sizes, membership, the far side's t-verdict and    *)
+(* inside-interval lengths, and — for Definition 4's condition 2 — the   *)
+(* escape verdict evaluated at u itself).  A leaf can only lie on the    *)
+(* border of F_f as one of f's endpoints, which keeps every interior     *)
+(* test a pure interval comparison.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let hidden g (lv : local_view) ~u ~v ~t =
+  let n = Graph.n g in
+  let u, v = if lv.lpi_l.(u) < lv.lpi_l.(v) then (u, v) else (v, u) in
+  let fm, stats0 = detect_face g lv ~u ~v in
+  let stats = ref stats0 in
+  let bump (s : stats) =
+    stats :=
+      {
+        rounds = !stats.rounds + s.rounds;
+        messages = !stats.messages + s.messages;
+        max_edge_bits = max !stats.max_edge_bits s.max_edge_bits;
+      }
+  in
+  let tk =
+    { parent = lv.lparent; depth = lv.ldepth; pi_left = lv.lpi_l; size = lv.lsize }
+  in
+  let pi_t_l, s1 = learn g tk ~source:t ~value:lv.lpi_l.(t) no_stats in
+  bump s1;
+  let pi_t_r, s2 = learn g tk ~source:t ~value:lv.lpi_r.(t) no_stats in
+  bump s2;
+  let run f =
+    let out, s = f () in
+    bump (add_stats no_stats s);
+    out
+  in
+  let fundamental x =
+    Graph.neighbors g x |> Array.to_list
+    |> List.filter (fun y -> lv.lparent.(x) <> y && lv.lparent.(y) <> x)
+  in
+  let swap field =
+    let sends =
+      Array.init n (fun x -> List.map (fun y -> (y, field x y)) (fundamental x))
+    in
+    run (fun () -> Prim.exchange g ~sends)
+  in
+  let member_state x = if fm.inside.(x) then 2 else if fm.border.(x) then 1 else 0 in
+  (* Per-edge exchanged data (the sender is the field's first argument). *)
+  let got_pl = swap (fun x _ -> lv.lpi_l.(x)) in
+  let got_pr = swap (fun x _ -> lv.lpi_r.(x)) in
+  let got_sz = swap (fun x _ -> lv.lsize.(x)) in
+  let got_mem = swap (fun x _ -> member_state x) in
+  let look got x y = List.assoc y got.(x) in
+  (* t-verdict at an endpoint x for the edge towards y, as a bitfield:
+     bit0 = t lies in my strict subtree; bit1 = inside under the ">"
+     (unrelated / anc-right) rule; bit2 = inside under the "<" (anc-left)
+     rule.  Only the non-ancestor-end rules are needed from the far side. *)
+  let t_verdict x y =
+    if not (pi_t_l > lv.lpi_l.(x) && pi_t_l < lv.lpi_l.(x) + lv.lsize.(x)) then 0
+    else begin
+      let c = lchild_toward lv x pi_t_l in
+      let gt = lnpos lv x c > lnpos lv x y in
+      1 + (if gt then 2 else 0) + if not gt then 4 else 0
+    end
+  in
+  let got_tv = swap t_verdict in
+  (* Inside-interval lengths at an endpoint x for the edge to y, under both
+     non-ancestor-end rules (the far side cannot know f's orientation). *)
+  let inside_len x y ~rule_gt =
+    Array.fold_left
+      (fun acc c ->
+        let inside =
+          if rule_gt then lnpos lv x c > lnpos lv x y
+          else lnpos lv x c < lnpos lv x y
+        in
+        if inside then acc + lv.lsize.(c) else acc)
+      0 lv.lchildren.(x)
+  in
+  let got_len_gt = swap (fun x y -> inside_len x y ~rule_gt:true) in
+  let got_len_lt = swap (fun x y -> inside_len x y ~rule_gt:false) in
+  (* Orientation of f, sent from the ancestor end (only it can tell):
+     0 = not my call, 1 = anc-right, 2 = anc-left. *)
+  let got_orient =
+    swap (fun x y ->
+        let x_anc_y =
+          lv.lpi_l.(y) >= lv.lpi_l.(x) && lv.lpi_l.(y) < lv.lpi_l.(x) + lv.lsize.(x)
+        in
+        if not x_anc_y then 0
+        else begin
+          let w1 = lchild_toward lv x lv.lpi_l.(y) in
+          if lnpos lv x y > lnpos lv x w1 then 1 else 2
+        end)
+  in
+  (* Definition 4 condition-2 verdict, evaluated at u itself for each of its
+     incident fundamental edges f = (u, other): does some part of
+     T_u ∩ F̊_e escape the closed region of F_f?  Everything u needs about
+     the far endpoint has been exchanged above. *)
+  let e_w1 =
+    let anc =
+      lv.lpi_l.(v) >= lv.lpi_l.(u) && lv.lpi_l.(v) < lv.lpi_l.(u) + lv.lsize.(u)
+    in
+    if anc then lchild_toward lv u lv.lpi_l.(v) else -1
+  in
+  let e_case =
+    if e_w1 < 0 then case_unrelated
+    else if lnpos lv u v > lnpos lv u e_w1 then case_anc_right
+    else case_anc_left
+  in
+  let e_inside_child c =
+    let p = lnpos lv u c in
+    if e_case = case_unrelated then p < lnpos lv u v
+    else begin
+      let pv = lnpos lv u v and pw = lnpos lv u e_w1 in
+      if e_case = case_anc_right then pw < p && p < pv else pv < p && p < pw
+    end
+  in
+  let escape_verdict x other =
+    if x <> u then 0
+    else begin
+      (* f's shape at u: u may be the ancestor end, the descendant end, or
+         unrelated to [other]; the descendant end learns the orientation
+         from the exchange above. *)
+      let u_anc_other =
+        lv.lpi_l.(other) >= lv.lpi_l.(u)
+        && lv.lpi_l.(other) < lv.lpi_l.(u) + lv.lsize.(u)
+      in
+      let other_anc_u =
+        lv.lpi_l.(u) >= look got_pl u other
+        && lv.lpi_l.(u) < look got_pl u other + look got_sz u other
+      in
+      let f_w1 = if u_anc_other then lchild_toward lv u lv.lpi_l.(other) else -1 in
+      let f_case =
+        if u_anc_other then
+          if lnpos lv u other > lnpos lv u f_w1 then case_anc_right
+          else case_anc_left
+        else if other_anc_u then
+          if look got_orient u other = 1 then case_anc_right else case_anc_left
+        else case_unrelated
+      in
+      let f_inside_child c =
+        let p = lnpos lv u c in
+        if f_case = case_unrelated then
+          (* u is an endpoint of the unrelated edge; the interior side at u
+             follows u's role under the normalization. *)
+          if lv.lpi_l.(u) < look got_pl u other then p < lnpos lv u other
+          else p > lnpos lv u other
+        else if other_anc_u then
+          (* u is the descendant end: Claim 4 (ii) and its mirror. *)
+          if f_case = case_anc_right then p > lnpos lv u other
+          else p < lnpos lv u other
+        else begin
+          let pv = lnpos lv u other and pw = lnpos lv u f_w1 in
+          if f_case = case_anc_right then pw < p && p < pv else pv < p && p < pw
+        end
+      in
+      let branch_escapes () =
+        (* T_{f_w1}'s face-of-e part versus F_f's window (Claim 5 with the
+           corrected orientation pairing) plus the far subtree. *)
+        let cpi, far_len =
+          if f_case = case_anc_right then
+            (child_pi_left lv u f_w1, look got_len_gt u other)
+          else (child_pi_right lv u f_w1, look got_len_lt u other)
+        in
+        let p_other =
+          if f_case = case_anc_right then look got_pl u other
+          else look got_pr u other
+        in
+        let sz_other = look got_sz u other in
+        (* Tail beyond the far subtree, or far-subtree members outside the
+           far inside-interval. *)
+        cpi + lv.lsize.(f_w1) > p_other + sz_other || sz_other - 1 > far_len
+      in
+      let escapes =
+        List.exists
+          (fun c ->
+            if not (e_inside_child c) then false
+            else if c = f_w1 then branch_escapes ()
+            else not (f_inside_child c))
+          (Array.to_list lv.lchildren.(u))
+      in
+      if escapes then 1 else 0
+    end
+  in
+  let got_escape = swap escape_verdict in
+  (* The final verdict, at the pi-smaller endpoint a of f = ab. *)
+  let hides a b =
+    if (a, b) = (u, v) || (b, a) = (u, v) then false
+    else begin
+      let mem_a = member_state a and mem_b = look got_mem a b in
+      if mem_a = 0 || mem_b = 0 then false
+      else begin
+        (* Containment of f in F_e. *)
+        let contained =
+          mem_a = 2 || mem_b = 2
+          ||
+          (* both endpoints on e's border: the dart a->b must leave into the
+             interior arc — the same rule as Faces.child_inside, a-local. *)
+          let x = a and c = b in
+          if e_case = case_unrelated then begin
+            if x = u then lnpos lv x c < lnpos lv x v
+            else if x = v then lnpos lv x c > lnpos lv x u
+            else begin
+              let anc_of_u =
+                lv.lpi_l.(u) >= lv.lpi_l.(x)
+                && lv.lpi_l.(u) < lv.lpi_l.(x) + lv.lsize.(x)
+              in
+              let anc_of_v =
+                lv.lpi_l.(v) >= lv.lpi_l.(x)
+                && lv.lpi_l.(v) < lv.lpi_l.(x) + lv.lsize.(x)
+              in
+              if anc_of_u && anc_of_v then begin
+                let u1 = lchild_toward lv x lv.lpi_l.(u) in
+                let v1 = lchild_toward lv x lv.lpi_l.(v) in
+                lnpos lv x v1 < lnpos lv x c && lnpos lv x c < lnpos lv x u1
+              end
+              else if anc_of_u then
+                lnpos lv x c < lnpos lv x (lchild_toward lv x lv.lpi_l.(u))
+              else lnpos lv x c > lnpos lv x (lchild_toward lv x lv.lpi_l.(v))
+            end
+          end
+          else begin
+            if x = u then begin
+              let pc = lnpos lv x c and pv = lnpos lv x v and pw = lnpos lv x e_w1 in
+              if e_case = case_anc_right then pw < pc && pc < pv
+              else pv < pc && pc < pw
+            end
+            else if x = v then
+              if e_case = case_anc_right then lnpos lv x c > lnpos lv x u
+              else lnpos lv x c < lnpos lv x u
+            else begin
+              let next = lchild_toward lv x lv.lpi_l.(v) in
+              if e_case = case_anc_right then lnpos lv x c > lnpos lv x next
+              else lnpos lv x c < lnpos lv x next
+            end
+          end
+        in
+        if not contained then false
+        else begin
+          (* t strictly inside F_f?  (A leaf is on F_f's border only as an
+             endpoint.) *)
+          let pl_b = look got_pl a b in
+          let a_anc_b = pl_b >= lv.lpi_l.(a) && pl_b < lv.lpi_l.(a) + lv.lsize.(a) in
+          let f_w1 = if a_anc_b then lchild_toward lv a pl_b else -1 in
+          let f_case =
+            if not a_anc_b then case_unrelated
+            else if lnpos lv a b > lnpos lv a f_w1 then case_anc_right
+            else case_anc_left
+          in
+          let t_under_a =
+            pi_t_l > lv.lpi_l.(a) && pi_t_l < lv.lpi_l.(a) + lv.lsize.(a)
+          in
+          let t_inside =
+            if t = a || t = b then false
+            else if t_under_a then begin
+              let c = lchild_toward lv a pi_t_l in
+              if a_anc_b && c = f_w1 then begin
+                (* Under the path branch: the far side or the Claim-5
+                   window in the orientation-matched order. *)
+                let far = look got_tv a b in
+                if far land 1 = 1 then
+                  if f_case = case_anc_right then far land 2 > 0
+                  else far land 4 > 0
+                else if f_case = case_anc_right then
+                  child_pi_left lv a f_w1 <= pi_t_l && pi_t_l < pl_b
+                else
+                  child_pi_right lv a f_w1 <= pi_t_r
+                  && pi_t_r < look got_pr a b
+              end
+              else begin
+                (* Hanging at a: classify c against f's arc at a. *)
+                let p = lnpos lv a c in
+                if f_case = case_unrelated then p < lnpos lv a b
+                else begin
+                  let pv = lnpos lv a b and pw = lnpos lv a f_w1 in
+                  if f_case = case_anc_right then pw < p && p < pv
+                  else pv < p && p < pw
+                end
+              end
+            end
+            else if not a_anc_b then begin
+              (* Unrelated f: the far subtree, or the middle window. *)
+              let far = look got_tv a b in
+              if far land 1 = 1 then far land 2 > 0
+              else pi_t_l > lv.lpi_l.(a) + lv.lsize.(a) - 1 && pi_t_l < pl_b
+            end
+            else false
+          in
+          if not t_inside then false
+          else if a <> u && b <> u then true
+          else begin
+            let got = look got_escape a b in
+            if a = u then escape_verdict u b = 1 else got = 1
+          end
+        end
+      end
+    end
+  in
+  let verdicts =
+    Array.init n (fun a ->
+        List.filter_map
+          (fun b ->
+            if lv.lpi_l.(a) < look got_pl a b && hides a b then Some (a, b)
+            else None)
+          (fundamental a))
+  in
+  (* Share each verdict across its edge so both endpoints know. *)
+  let shared =
+    let sends =
+      Array.init n (fun a -> List.map (fun (_, b) -> (b, a)) verdicts.(a))
+    in
+    run (fun () -> Prim.exchange g ~sends)
+  in
+  let result =
+    Array.init n (fun x -> verdicts.(x) @ List.map (fun (b, _) -> (b, x)) shared.(x))
+  in
+  (result, !stats)

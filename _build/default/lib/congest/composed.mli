@@ -1,0 +1,112 @@
+(** Composed message-level subroutines of Section 5.2.
+
+    Given the Phase-1 data at every node (parent, depth, LEFT order, subtree
+    size — the distributed spanning-tree representation the paper assumes),
+    the LCA and MARK-PATH subroutines decompose into a constant number of
+    broadcasts and aggregations; this module executes that decomposition in
+    the synchronous engine and returns genuinely measured statistics. *)
+
+open Repro_graph
+
+type tree_knowledge = {
+  parent : int array; (** -1 at the root *)
+  depth : int array;
+  pi_left : int array;
+  size : int array;
+}
+
+type stats = { rounds : int; messages : int; max_edge_bits : int }
+
+type orders = { pi_left : int array; pi_right : int array }
+
+val dfs_orders :
+  Graph.t ->
+  children:int array array ->
+  parent:int array ->
+  depth:int array ->
+  root:int ->
+  orders * int * stats
+(** DFS-ORDER-PROBLEM (Lemma 11), executed: fragment merging with depth
+    halving, every phase built from one-round neighbour exchanges and
+    part-wise broadcasts in the engine.  [children] lists each node's tree
+    children in clockwise rotation order.  Returns the LEFT/RIGHT orders,
+    the number of merging phases (O(log n)) and the measured statistics. *)
+
+type local_view = {
+  lparent : int array;
+  ldepth : int array;
+  lsize : int array;
+  lrot : int array array; (** full clockwise neighbour order *)
+  lchildren : int array array; (** tree children, clockwise *)
+  lpi_l : int array;
+  lpi_r : int array;
+}
+
+val phase1 :
+  Graph.t ->
+  rot_orders:int array array ->
+  parent:int array ->
+  depth:int array ->
+  root:int ->
+  local_view * stats
+(** Phase 1 of the separator algorithm, executed: from purely local data
+    (parent pointers, depths, rotations) to the full local view — children
+    in rotation order, subtree sizes, LEFT/RIGHT positions. *)
+
+val separator_phase3 :
+  Graph.t ->
+  rot_orders:int array array ->
+  parent:int array ->
+  depth:int array ->
+  root:int ->
+  ((int * int) * bool array) option * stats
+(** End-to-end executed separator for the Phase-3 case: when some real
+    fundamental face has weight in [n/3, 2n/3] (Lemma 5), returns the
+    elected edge and the marked border path; [None] when no face is in
+    range (the remaining phases fall back to the charged-model search). *)
+
+val weights : Graph.t -> local_view -> ((int * int) * int) list * stats
+(** WEIGHTS-PROBLEM (Lemma 12), executed: the weight of every real
+    fundamental face (Definition 2), computed by the edge endpoints from
+    node-local data plus six one-round exchanges across the fundamental
+    edges themselves.  Edges are normalized ([pi_left u < pi_left v]). *)
+
+val lca : Graph.t -> tree_knowledge -> u:int -> v:int -> int * stats
+(** LCA-PROBLEM (Lemma 14): the LCA of u and v, learned by every node. *)
+
+val mark_path : Graph.t -> tree_knowledge -> u:int -> v:int -> bool array * stats
+(** MARK-PATH-PROBLEM (Lemma 13): for every node, whether it lies on the
+    tree path between u and v. *)
+
+type face_membership = { border : bool array; inside : bool array }
+
+val detect_face : Graph.t -> local_view -> u:int -> v:int -> face_membership * stats
+(** DETECT-FACE-PROBLEM (Lemma 15), executed: border and interior
+    membership of the fundamental face of a real fundamental edge, decided
+    locally at every node after a constant number of broadcasts. *)
+
+val spanning_forest :
+  Graph.t ->
+  ?parts:int array ->
+  unit ->
+  (int array * int array * int array) * int * stats
+(** Borůvka spanning forests (Lemma 9), executed: with [parts], a spanning
+    tree of every part in parallel (0/1 edge weights, stopping before any
+    cross-part edge); without, a spanning tree per connected component.
+    Returns (parent, depth, fragment id), the number of Borůvka phases
+    (O(log n)) and the measured statistics. *)
+
+val reroot :
+  Graph.t -> local_view -> new_root:int -> (int array * int array) * stats
+(** RE-ROOT-PROBLEM (Lemma 19), executed: the same tree edges re-rooted at
+    the given node — two broadcasts plus local updates.  Returns the new
+    parent and depth arrays. *)
+
+val hidden :
+  Graph.t -> local_view -> u:int -> v:int -> t:int -> (int * int) list array * stats
+(** HIDDEN-PROBLEM (Lemma 16), executed: for a T-leaf [t] inside the face of
+    the fundamental edge (u, v), every node learns which of its incident
+    real fundamental edges hide [t] (Definition 4) — detect-face, two
+    broadcasts and a constant number of one-round exchanges across the
+    fundamental edges.  Each hiding edge is reported at both endpoints,
+    normalized as [(a, b)] with [pi_left a < pi_left b]. *)

@@ -1,0 +1,84 @@
+(** Message-level CONGEST primitives (real executions in the engine).
+
+    These are the executable counterparts of the black-box primitives that
+    the charged mode models: BFS-tree construction, tree broadcast, subtree
+    aggregation, and pipelined part-wise aggregation in O(depth + #parts)
+    rounds. *)
+
+open Repro_graph
+
+type op = Sum | Min | Max
+
+val apply : op -> int -> int -> int
+
+val bfs_tree :
+  ?max_rounds:int ->
+  ?bandwidth:int ->
+  Graph.t ->
+  root:int ->
+  (int array * int array) * Engine.stats
+(** Parents ([-1] at root) and distances, by flooding. The graph must be
+    connected. *)
+
+val bfs_forest :
+  ?max_rounds:int ->
+  ?bandwidth:int ->
+  Graph.t ->
+  roots:bool array ->
+  (int array * int array) * Engine.stats
+(** Multi-source flooding: a BFS forest covering every vertex reachable from
+    some root (each root gets parent [-1]). *)
+
+val subtree_agg :
+  ?max_rounds:int ->
+  ?bandwidth:int ->
+  Graph.t ->
+  parent:int array ->
+  op:op ->
+  values:int array ->
+  int array * Engine.stats
+(** Every node learns the aggregate of its subtree in the given spanning
+    tree (DESCENDANT-SUM-PROBLEM). *)
+
+val ancestor_agg :
+  ?max_rounds:int ->
+  ?bandwidth:int ->
+  Graph.t ->
+  parent:int array ->
+  op:op ->
+  values:int array ->
+  int array * Engine.stats
+(** Every node learns the aggregate of the values on its root path (itself
+    included) — the ANCESTOR-SUM-PROBLEM of Proposition 5, as a downcast. *)
+
+val broadcast :
+  ?max_rounds:int ->
+  ?bandwidth:int ->
+  Graph.t ->
+  parent:int array ->
+  root:int ->
+  value:int ->
+  int array * Engine.stats
+(** Every node learns the root's value (over tree edges). *)
+
+val exchange :
+  ?max_rounds:int ->
+  ?bandwidth:int ->
+  Graph.t ->
+  sends:(int * int) list array ->
+  (int * int) list array * Engine.stats
+(** One synchronous round: node [v] sends [sends.(v)] (neighbour, value)
+    pairs and receives the pairs addressed to it. *)
+
+val partwise :
+  ?max_rounds:int ->
+  ?bandwidth:int ->
+  Graph.t ->
+  parent:int array ->
+  op:op ->
+  parts:int array ->
+  values:int array ->
+  int array * Engine.stats
+(** Part-wise aggregation: every node learns the aggregate of the values of
+    its own part.  Pipelined over the given global spanning tree; runs in
+    O(depth + #parts) rounds. *)

@@ -1,0 +1,56 @@
+(** Round accounting for the charged-cost execution mode.
+
+    Each of the paper's black-box primitives is charged its published round
+    bound; the accountant tracks the total and a per-subroutine breakdown.
+    One part-wise aggregation (PA) costs [c_pa * D * log2(n)^e] rounds
+    (default [e = 2]), matching the deterministic low-congestion shortcut
+    guarantee used by the paper. *)
+
+type params = { c_pa : float; log_exponent : int }
+
+val default_params : params
+
+type t
+
+val create : ?params:params -> n:int -> d:int -> unit -> t
+
+val pa_cost : t -> float
+(** Cost in rounds of a single part-wise aggregation. *)
+
+val log2n : t -> float
+
+val charge : t -> label:string -> float -> unit
+(** Charge raw rounds under a label. *)
+
+val charge_pa : ?units:int -> t -> label:string -> unit
+
+(** Published bounds of the paper's named subroutines: *)
+
+val charge_embedding : t -> unit
+val charge_spanning_forest : t -> unit
+val charge_dfs_order : t -> unit
+val charge_weights : t -> unit
+val charge_mark_path : t -> unit
+val charge_lca : t -> unit
+val charge_detect_face : t -> unit
+val charge_hidden : t -> unit
+val charge_not_contained : t -> unit
+val charge_aggregate : t -> string -> unit
+val charge_reroot : t -> unit
+val charge_exact : t -> label:string -> int -> unit
+
+val total : t -> float
+
+val like : t -> t
+(** Fresh accountant with the same network parameters. *)
+
+val absorb : t -> t -> unit
+(** Merge the other accountant's charges into the first (e.g. the heaviest
+    part of a batch executed in parallel). *)
+
+val breakdown : t -> (string * float * int) list
+(** [(label, rounds, invocations)], heaviest first. *)
+
+val invocations : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/check.ml: Array Config Fmt Graph Hashtbl List Repro_embedding Repro_graph Repro_tree Repro_util Rooted

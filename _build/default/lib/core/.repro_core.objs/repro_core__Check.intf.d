@@ -1,0 +1,1 @@
+lib/core/check.mli: Config Format Repro_graph Repro_tree Rooted

@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Embedded Float Graph List Repro_embedding Repro_graph Repro_tree Rooted Rotation Spanning

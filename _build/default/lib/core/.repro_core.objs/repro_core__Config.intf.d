@@ -1,0 +1,1 @@
+lib/core/config.mli: Embedded Graph Repro_embedding Repro_graph Repro_tree Rooted Rotation Spanning

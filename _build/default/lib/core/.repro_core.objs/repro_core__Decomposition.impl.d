@@ -1,0 +1,1 @@
+lib/core/decomposition.ml: Algo Array Config Embedded Fun Graph Hashtbl List Queue Repro_embedding Repro_graph Separator

@@ -1,0 +1,1 @@
+lib/core/decomposition.mli: Embedded Graph Repro_congest Repro_embedding Repro_graph Rounds

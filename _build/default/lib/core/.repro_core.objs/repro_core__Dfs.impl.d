@@ -1,0 +1,1 @@
+lib/core/dfs.ml: Algo Array Config Embedded Fun Graph Hashtbl Join List Option Repro_congest Repro_embedding Repro_graph Repro_tree Rounds Separator

@@ -1,0 +1,1 @@
+lib/core/dfs.mli: Embedded Repro_congest Repro_embedding Repro_tree Rounds Spanning

@@ -1,0 +1,1 @@
+lib/core/faces.ml: Array Config Graph Hashtbl List Printf Repro_embedding Repro_graph Repro_tree Rooted Rotation

@@ -1,0 +1,1 @@
+lib/core/hidden.ml: Config Faces List Option Repro_tree Rooted Weights

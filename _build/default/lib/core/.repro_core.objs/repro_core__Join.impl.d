@@ -1,0 +1,1 @@
+lib/core/join.ml: Array Graph Hashtbl List Queue Repro_congest Repro_graph Repro_util Rounds

@@ -1,0 +1,1 @@
+lib/core/join.mli: Graph Repro_congest Repro_graph Rounds

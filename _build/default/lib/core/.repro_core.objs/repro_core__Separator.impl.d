@@ -1,0 +1,1 @@
+lib/core/separator.ml: Array Check Config Faces Hashtbl Hidden List Option Repro_congest Repro_tree Rooted Rounds Weights

@@ -1,0 +1,1 @@
+lib/core/separator.mli: Config Embedded Repro_congest Repro_embedding Rounds

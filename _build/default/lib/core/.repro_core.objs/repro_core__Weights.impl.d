@@ -1,0 +1,1 @@
+lib/core/weights.ml: Array Config Faces List Repro_tree Rooted

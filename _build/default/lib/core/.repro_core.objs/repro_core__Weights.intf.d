@@ -1,0 +1,1 @@
+lib/core/weights.mli: Config Faces

@@ -1,0 +1,32 @@
+(** Separator validation: tree-path shape and 2n/3 balance. *)
+
+open Repro_tree
+
+type verdict = {
+  valid : bool;
+  is_tree_path : bool;
+  max_component : int;
+  limit : int;
+  size : int;
+}
+
+val balance_limit : int -> int
+(** ceil(2n/3). *)
+
+val max_component_without : Repro_graph.Graph.t -> bool array -> int
+(** Largest component after removing the marked vertices. *)
+
+val is_tree_path : Rooted.t -> int list -> bool
+(** Does the set equal the vertex set of a path of the tree? *)
+
+val check_separator : Config.t -> int list -> verdict
+
+val balanced : Config.t -> int list -> bool
+(** Balance-only probe (the candidate-verification step). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val cycle_closable : Config.t -> endpoints:int * int -> bool
+(** Certificate for the full cycle-separator definition: the closing edge is
+    a graph edge, or inserting it keeps the graph planar (checked with the
+    DMP tester; test/reporting use). *)

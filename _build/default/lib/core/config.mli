@@ -1,0 +1,50 @@
+(** Planar configurations (G, E, T): a planar graph, a combinatorial
+    embedding and a rooted spanning tree with embedding-ordered children —
+    the object all of the paper's algorithms manipulate. *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+
+type t
+
+val of_embedded :
+  ?spanning:Spanning.kind -> ?root:int -> ?root_first:int -> Embedded.t -> t
+(** Configuration for a whole embedded graph.  The root defaults to the
+    embedding's outer vertex; [root_first] (where the virtual root edge is
+    inserted) defaults to the outward direction when coordinates exist. *)
+
+val of_part :
+  ?spanning:Spanning.kind -> members:int list -> root:int -> Embedded.t -> t
+(** Configuration for the subgraph induced by [members] (which must be
+    connected); the embedding is inherited by restriction.  Vertices are
+    renumbered; map back with [to_global]. *)
+
+val of_parts :
+  graph:Graph.t ->
+  rot:Rotation.t ->
+  tree:Rooted.t ->
+  ?root_first:int ->
+  ?to_global:int array ->
+  unit ->
+  t
+(** Assemble a configuration from existing pieces (tests, DFS driver). *)
+
+val graph : t -> Graph.t
+val rot : t -> Rotation.t
+val tree : t -> Rooted.t
+val n : t -> int
+val root_first : t -> int option
+
+val to_global : t -> int -> int
+(** Map a local vertex back to the original graph's numbering. *)
+
+val outer_root_first : Embedded.t -> int -> int option
+(** Neighbour of the given hull vertex that follows the outward direction
+    clockwise — the virtual-root-edge convention of Section 4. *)
+
+val fundamental_edges : t -> (int * int) list
+(** Real fundamental edges (non-tree edges), normalized so that
+    [pi_left u < pi_left v]. *)
+
+val is_tree : t -> bool

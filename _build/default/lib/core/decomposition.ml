@@ -1,0 +1,285 @@
+(* Recursive cycle-separator decomposition — the divide-and-conquer pattern
+   of Lipton–Tarjan, driven by the deterministic separators of Theorem 1.
+
+   The graph is recursively split until every piece has at most
+   [piece_target] vertices.  Distinct pieces are never adjacent (every path
+   between them crosses a removed separator node), so any per-piece solution
+   of a "closed under non-adjacency" problem combines trivially; the classic
+   application, an approximate maximum independent set, is provided. *)
+
+open Repro_graph
+open Repro_embedding
+
+
+type t = {
+  pieces : int list list;
+  separator : bool array; (* removed separator nodes *)
+  levels : int; (* recursion depth *)
+  separator_count : int;
+}
+
+let build ?rounds ?(piece_target = 20) ?(trim = true) emb =
+  if piece_target < 1 then invalid_arg "Decomposition.build: piece_target >= 1";
+  let g = Embedded.graph emb in
+  let removed = Array.make (Graph.n g) false in
+  let pieces = ref [] in
+  let levels = ref 0 in
+  let rec go members level =
+    levels := max !levels level;
+    if List.length members <= piece_target then pieces := members :: !pieces
+    else begin
+      let cfg = Config.of_part ~members ~root:(List.hd members) emb in
+      let r = Separator.find ?rounds cfg in
+      let sep =
+        if trim then Separator.shrink ?rounds cfg r.Separator.separator
+        else r.Separator.separator
+      in
+      let sep_global = List.map (Config.to_global cfg) sep in
+      List.iter (fun v -> removed.(v) <- true) sep_global;
+      (* Recurse on the connected remainders of this part. *)
+      let keep = Hashtbl.create (List.length members) in
+      List.iter (fun v -> if not removed.(v) then Hashtbl.replace keep v ()) members;
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          if Hashtbl.mem keep v && not (Hashtbl.mem seen v) then begin
+            let comp = ref [] in
+            let queue = Queue.create () in
+            Hashtbl.replace seen v ();
+            Queue.add v queue;
+            while not (Queue.is_empty queue) do
+              let x = Queue.pop queue in
+              comp := x :: !comp;
+              Array.iter
+                (fun u ->
+                  if Hashtbl.mem keep u && not (Hashtbl.mem seen u) then begin
+                    Hashtbl.replace seen u ();
+                    Queue.add u queue
+                  end)
+                (Graph.neighbors g x)
+            done;
+            go !comp (level + 1)
+          end)
+        members
+    end
+  in
+  go (List.init (Graph.n g) Fun.id) 0;
+  let separator_count =
+    Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 removed
+  in
+  { pieces = !pieces; separator = removed; levels = !levels; separator_count }
+
+(* Structural validation: pieces and separator partition V, every piece is
+   within the size target, and no edge joins two distinct pieces. *)
+let check emb ~piece_target t =
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  let owner = Array.make n (-1) in
+  let ok = ref true in
+  List.iteri
+    (fun i members ->
+      if List.length members > piece_target then ok := false;
+      List.iter
+        (fun v ->
+          if owner.(v) >= 0 || t.separator.(v) then ok := false;
+          owner.(v) <- i)
+        members)
+    t.pieces;
+  for v = 0 to n - 1 do
+    if owner.(v) < 0 && not t.separator.(v) then ok := false
+  done;
+  Graph.iter_edges g (fun u v ->
+      if owner.(u) >= 0 && owner.(v) >= 0 && owner.(u) <> owner.(v) then ok := false);
+  !ok
+
+(* Exact maximum independent set of a tiny graph: branch on a max-degree
+   vertex.  Exponential in the worst case — callers bound the piece size. *)
+let rec exact_mis g alive =
+  let pick =
+    let best = ref (-1) and best_deg = ref 0 in
+    for v = 0 to Graph.n g - 1 do
+      if alive.(v) then begin
+        let deg =
+          Array.fold_left
+            (fun acc u -> if alive.(u) then acc + 1 else acc)
+            0 (Graph.neighbors g v)
+        in
+        if deg > !best_deg then begin
+          best := v;
+          best_deg := deg
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+  in
+  match pick with
+  | None ->
+    let acc = ref [] in
+    Array.iteri (fun v a -> if a then acc := v :: !acc) alive;
+    !acc
+  | Some v ->
+    let without =
+      let alive' = Array.copy alive in
+      alive'.(v) <- false;
+      exact_mis g alive'
+    in
+    let with_v =
+      let alive' = Array.copy alive in
+      alive'.(v) <- false;
+      Array.iter (fun u -> alive'.(u) <- false) (Graph.neighbors g v);
+      v :: exact_mis g alive'
+    in
+    if List.length with_v >= List.length without then with_v else without
+
+(* Lipton–Tarjan application: exact MIS inside every piece; the union is
+   independent in G because pieces are pairwise non-adjacent. *)
+let independent_set emb t =
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  let solution = ref [] in
+  List.iter
+    (fun members ->
+      let keep = Array.make n false in
+      List.iter (fun v -> keep.(v) <- true) members;
+      let sub, _, old_of_new = Graph.induced g keep in
+      let mis = exact_mis sub (Array.make (Graph.n sub) true) in
+      List.iter (fun v -> solution := old_of_new.(v) :: !solution) mis)
+    t.pieces;
+  !solution
+
+(* ------------------------------------------------------------------ *)
+(* Bounded-diameter decomposition — the application cited in Section    *)
+(* 1.2 (the BDD of Li–Parter, where randomness was only needed for the  *)
+(* separators): recursively split until every piece has hop diameter    *)
+(* at most the target.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hop diameter of the subgraph induced by the member set.  The double
+   sweep is only a lower bound, so it is used as a cheap split trigger; a
+   candidate stop is confirmed with the exact all-sources BFS. *)
+let piece_diameter_bfs g inside src =
+  let dist = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace dist src 0;
+  Queue.add src queue;
+  let far = ref (src, 0) in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = Hashtbl.find dist u in
+    if du > snd !far then far := (u, du);
+    Array.iter
+      (fun v ->
+        if Hashtbl.mem inside v && not (Hashtbl.mem dist v) then begin
+          Hashtbl.replace dist v (du + 1);
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  !far
+
+let piece_diameter_exceeds g members target =
+  match members with
+  | [] -> false
+  | first :: _ ->
+    let inside = Hashtbl.create (List.length members) in
+    List.iter (fun v -> Hashtbl.replace inside v ()) members;
+    let far1, _ = piece_diameter_bfs g inside first in
+    let _, sweep = piece_diameter_bfs g inside far1 in
+    if sweep > target then true
+    else
+      (* Confirm exactly. *)
+      List.exists
+        (fun src -> snd (piece_diameter_bfs g inside src) > target)
+        members
+
+let bounded_diameter ?rounds ?(trim = true) ~diameter_target emb =
+  if diameter_target < 1 then
+    invalid_arg "Decomposition.bounded_diameter: target >= 1";
+  let g = Embedded.graph emb in
+  let removed = Array.make (Graph.n g) false in
+  let pieces = ref [] in
+  let levels = ref 0 in
+  let rec go members level =
+    levels := max !levels level;
+    if level > 4 * Graph.n g then
+      invalid_arg "Decomposition.bounded_diameter: no progress";
+    if not (piece_diameter_exceeds g members diameter_target) then
+      pieces := members :: !pieces
+    else begin
+      let cfg = Config.of_part ~members ~root:(List.hd members) emb in
+      let r = Separator.find ?rounds cfg in
+      let sep =
+        if trim then Separator.shrink ?rounds cfg r.Separator.separator
+        else r.Separator.separator
+      in
+      let sep_global = List.map (Config.to_global cfg) sep in
+      (* Guard against stalling when the separator no longer shrinks the
+         piece (tiny pieces): drop at least one vertex. *)
+      let sep_global =
+        if List.for_all (fun v -> removed.(v)) sep_global then [ List.hd members ]
+        else sep_global
+      in
+      List.iter (fun v -> removed.(v) <- true) sep_global;
+      let keep = Hashtbl.create (List.length members) in
+      List.iter (fun v -> if not removed.(v) then Hashtbl.replace keep v ()) members;
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          if Hashtbl.mem keep v && not (Hashtbl.mem seen v) then begin
+            let comp = ref [] in
+            let queue = Queue.create () in
+            Hashtbl.replace seen v ();
+            Queue.add v queue;
+            while not (Queue.is_empty queue) do
+              let x = Queue.pop queue in
+              comp := x :: !comp;
+              Array.iter
+                (fun u ->
+                  if Hashtbl.mem keep u && not (Hashtbl.mem seen u) then begin
+                    Hashtbl.replace seen u ();
+                    Queue.add u queue
+                  end)
+                (Graph.neighbors g x)
+            done;
+            go !comp (level + 1)
+          end)
+        members
+    end
+  in
+  go (List.init (Graph.n g) Fun.id) 0;
+  let separator_count =
+    Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 removed
+  in
+  { pieces = !pieces; separator = removed; levels = !levels; separator_count }
+
+let check_bounded_diameter emb ~diameter_target t =
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  let owner = Array.make n (-1) in
+  let ok = ref true in
+  List.iteri
+    (fun i members ->
+      (* Exact per-piece diameter for validation. *)
+      let keep = Array.make n false in
+      List.iter (fun v -> keep.(v) <- true) members;
+      let sub, _, _ = Graph.induced g keep in
+      if Algo.diameter_exact sub > diameter_target then ok := false;
+      List.iter
+        (fun v ->
+          if owner.(v) >= 0 || t.separator.(v) then ok := false;
+          owner.(v) <- i)
+        members)
+    t.pieces;
+  for v = 0 to n - 1 do
+    if owner.(v) < 0 && not t.separator.(v) then ok := false
+  done;
+  Graph.iter_edges g (fun u v ->
+      if owner.(u) >= 0 && owner.(v) >= 0 && owner.(u) <> owner.(v) then ok := false);
+  !ok
+
+let is_independent g nodes =
+  let chosen = Array.make (Graph.n g) false in
+  List.iter (fun v -> chosen.(v) <- true) nodes;
+  let ok = ref true in
+  Graph.iter_edges g (fun u v -> if chosen.(u) && chosen.(v) then ok := false);
+  !ok

@@ -1,0 +1,128 @@
+(* Deterministic distributed DFS (Theorem 2, Section 6.2).
+
+   Each phase computes, in parallel over the connected components of the
+   unvisited region, a cycle separator (Theorem 1) and joins it to the
+   partial DFS tree with the DFS-RULE (Lemma 2).  Because each component
+   loses a separator, component sizes drop by a constant factor per phase,
+   so there are O(log n) phases, each costing Õ(D) rounds. *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_congest
+
+type result = {
+  parent : int array; (* -1 at the root *)
+  depth : int array;
+  phases : int;
+  max_join_iterations : int;
+  phase_log : (int * int * int) list;
+      (* per phase: #components, largest component, max join iterations *)
+  separator_phases : (string * int) list; (* separator phase histogram *)
+}
+
+let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) emb ~root =
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  Graph.check_vertex g root;
+  (match rounds with Some r -> Rounds.charge_embedding r | None -> ());
+  let st = Join.create g ~root in
+  let phases = ref 0 in
+  let max_join = ref 0 in
+  let phase_log = ref [] in
+  let sep_phases = Hashtbl.create 8 in
+  let bump k =
+    Hashtbl.replace sep_phases k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt sep_phases k))
+  in
+  let all_members = List.init n Fun.id in
+  let unvisited_left () = Array.exists (fun p -> p = -2) st.Join.parent in
+  while unvisited_left () do
+    incr phases;
+    if !phases > n + 1 then invalid_arg "Dfs.run: too many phases";
+    (match rounds with
+    | Some r -> Rounds.charge_aggregate r "components[Phase]"
+    | None -> ());
+    let comps = Join.unvisited_components st all_members in
+    let largest = List.fold_left (fun a c -> max a (List.length c)) 0 comps in
+    (* Theorem 1 on the node-disjoint collection of components: compute all
+       separators; parts run in parallel, so the batch costs the rounds of
+       its heaviest part. *)
+    let locals = ref [] in
+    let jobs =
+      List.map
+        (fun members ->
+          match members with
+          | ([ _ ] | [ _; _ ] | [ _; _; _ ]) ->
+            (* Trivial components: every node is its own separator; skip the
+               induced-configuration machinery. *)
+            bump "trivial";
+            (members, members)
+          | _ ->
+            let part_root =
+              match Join.component_anchor st members with
+              | Some (v, _) -> v
+              | None -> List.hd members
+            in
+            let cfg = Config.of_part ~spanning ~members ~root:part_root emb in
+            let local = Option.map Rounds.like rounds in
+            let r = Separator.find ?rounds:local cfg in
+            (match local with Some l -> locals := l :: !locals | None -> ());
+            bump r.Separator.phase;
+            let separator_global =
+              List.map (Config.to_global cfg) r.Separator.separator
+            in
+            (members, separator_global))
+        comps
+    in
+    (match rounds with
+    | Some global ->
+      let heaviest =
+        List.fold_left
+          (fun acc l ->
+            match acc with
+            | None -> Some l
+            | Some b -> if Rounds.total l > Rounds.total b then Some l else acc)
+          None !locals
+      in
+      Option.iter (Rounds.absorb global) heaviest
+    | None -> ());
+    (* JOIN runs in parallel over components as well: charge the deepest
+       iteration count once. *)
+    let join_locals = ref [] in
+    let phase_join =
+      List.fold_left
+        (fun acc (members, separator) ->
+          let local = Option.map Rounds.like rounds in
+          let iters = Join.join ?rounds:local st ~members ~separator in
+          (match local with Some l -> join_locals := l :: !join_locals | None -> ());
+          max acc iters)
+        0 jobs
+    in
+    (match rounds with
+    | Some global ->
+      let heaviest =
+        List.fold_left
+          (fun acc l ->
+            match acc with
+            | None -> Some l
+            | Some b -> if Rounds.total l > Rounds.total b then Some l else acc)
+          None !join_locals
+      in
+      Option.iter (Rounds.absorb global) heaviest
+    | None -> ());
+    max_join := max !max_join phase_join;
+    phase_log := (List.length comps, largest, phase_join) :: !phase_log
+  done;
+  {
+    parent = Array.copy st.Join.parent;
+    depth = Array.copy st.Join.depth;
+    phases = !phases;
+    max_join_iterations = !max_join;
+    phase_log = List.rev !phase_log;
+    separator_phases =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) sep_phases []
+      |> List.sort compare;
+  }
+
+let verify emb ~root result =
+  Algo.is_dfs_tree (Embedded.graph emb) ~root ~parent:result.parent

@@ -1,0 +1,22 @@
+(** Deterministic distributed DFS in planar graphs (Theorem 2). *)
+
+open Repro_embedding
+open Repro_tree
+open Repro_congest
+
+type result = {
+  parent : int array; (** -1 at the root *)
+  depth : int array;
+  phases : int; (** recursion depth; O(log n) *)
+  max_join_iterations : int;
+  phase_log : (int * int * int) list;
+      (** per phase: #components, largest component, max join iterations *)
+  separator_phases : (string * int) list;
+      (** histogram of the separator phases that fired *)
+}
+
+val run : ?rounds:Rounds.t -> ?spanning:Spanning.kind -> Embedded.t -> root:int -> result
+
+val verify : Embedded.t -> root:int -> result -> bool
+(** DFS-tree check: spanning, rooted correctly, and every non-tree edge
+    joins an ancestor–descendant pair. *)

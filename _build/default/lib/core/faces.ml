@@ -1,0 +1,268 @@
+(* Fundamental faces of a planar configuration (paper, Sections 2 and 4).
+
+   For a real fundamental edge e = uv (normalized pi_left(u) < pi_left(v))
+   the fundamental face F_e is the face of T + e that does not contain the
+   virtual root.  Two implementations coexist:
+
+   - [interior_reference]: exact, by traversing the two faces of T + e in the
+     induced rotation system and discarding the one holding the root corner.
+     O(n) per edge; the ground truth.
+
+   - [is_inside] / [inside_children]: the paper's local characterization
+     (Claims 1, 3, 4, 5 and Remark 1) in O(log n) per query — this is what
+     the distributed algorithm can evaluate, and what the weight formula of
+     Definition 2 consumes.  Its agreement with the reference is enforced by
+     the test suite. *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+
+type edge_case = Unrelated | Anc_left | Anc_right
+
+let case_name = function
+  | Unrelated -> "unrelated"
+  | Anc_left -> "anc-left"
+  | Anc_right -> "anc-right"
+
+(* Normalized rotation position: the parent edge (or the virtual root edge
+   position) is at 0 and positions grow clockwise. *)
+let anchor cfg x =
+  let tree = Config.tree cfg in
+  if x = Rooted.root tree then begin
+    match Config.root_first cfg with
+    | Some f -> Rotation.position (Config.rot cfg) x f
+    | None -> 0
+  end
+  else Rotation.position (Config.rot cfg) x (Rooted.parent tree x)
+
+let npos cfg x y =
+  let rot = Config.rot cfg in
+  let d = Rotation.degree rot x in
+  ((Rotation.position rot x y - anchor cfg x) + d) mod d
+
+(* Child of [x] on the tree path towards its descendant [z]. *)
+let child_toward cfg x z =
+  let tree = Config.tree cfg in
+  Rooted.kth_ancestor tree z (Rooted.depth tree z - Rooted.depth tree x - 1)
+
+let normalize cfg (a, b) =
+  let tree = Config.tree cfg in
+  if Rooted.pi_left tree a < Rooted.pi_left tree b then (a, b) else (b, a)
+
+let classify cfg ~u ~v =
+  let tree = Config.tree cfg in
+  if Rooted.is_ancestor tree ~anc:u ~desc:v then begin
+    let z = child_toward cfg u v in
+    if npos cfg u v < npos cfg u z then Anc_left else Anc_right
+  end
+  else Unrelated
+
+let on_border cfg ~u ~v x =
+  let tree = Config.tree cfg in
+  let w = Rooted.lca tree u v in
+  (Rooted.is_ancestor tree ~anc:x ~desc:u || Rooted.is_ancestor tree ~anc:x ~desc:v)
+  && Rooted.is_ancestor tree ~anc:w ~desc:x
+
+let border cfg ~u ~v = Rooted.path (Config.tree cfg) u v
+
+(* ------------------------------------------------------------------ *)
+(* Local classification of the tree children of a border node          *)
+(* (Claims 1 and 4).                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Is the tree child [c] of border node [x] inside F_e?  [c] itself must not
+   be on the border. *)
+let child_inside cfg ~u ~v ~case x c =
+  let tree = Config.tree cfg in
+  match case with
+  | Unrelated ->
+    let w = Rooted.lca tree u v in
+    if x = u then npos cfg u c < npos cfg u v (* Claim 1 (ii) *)
+    else if x = v then npos cfg v c > npos cfg v u (* Claim 1 (iii) *)
+    else if x = w then begin
+      (* Claim 1 (i): strictly between the branch to v and the branch to u. *)
+      let u1 = child_toward cfg w u and v1 = child_toward cfg w v in
+      npos cfg w v1 < npos cfg w c && npos cfg w c < npos cfg w u1
+    end
+    else if Rooted.is_ancestor tree ~anc:x ~desc:u then begin
+      (* Claim 1 (iv): interior node of the w->u branch. *)
+      let next = child_toward cfg x u in
+      npos cfg x c < npos cfg x next
+    end
+    else begin
+      (* Claim 1 (v): interior node of the w->v branch. *)
+      let next = child_toward cfg x v in
+      npos cfg x c > npos cfg x next
+    end
+  | Anc_right ->
+    (* u is an ancestor of v and the edge leaves u clockwise-after the path
+       child w1 (Claim 4 with t_u(v) > t_u(w1)). *)
+    if x = u then begin
+      let w1 = child_toward cfg u v in
+      npos cfg u w1 < npos cfg u c && npos cfg u c < npos cfg u v
+    end
+    else if x = v then npos cfg v c > npos cfg v u
+    else begin
+      let next = child_toward cfg x v in
+      npos cfg x c > npos cfg x next
+    end
+  | Anc_left ->
+    (* Mirror image of Anc_right. *)
+    if x = u then begin
+      let w1 = child_toward cfg u v in
+      npos cfg u v < npos cfg u c && npos cfg u c < npos cfg u w1
+    end
+    else if x = v then npos cfg v c < npos cfg v u
+    else begin
+      let next = child_toward cfg x v in
+      npos cfg x c < npos cfg x next
+    end
+
+(* Tree children of border node [x] lying inside F_e, in rotation order. *)
+let inside_children cfg ~u ~v ~case x =
+  let tree = Config.tree cfg in
+  Rooted.children tree x
+  |> Array.to_list
+  |> List.filter (fun c ->
+         (not (on_border cfg ~u ~v c)) && child_inside cfg ~u ~v ~case x c)
+
+(* ------------------------------------------------------------------ *)
+(* Interior membership in O(log n) (Remark 1 + Claims 3 and 5).        *)
+(* ------------------------------------------------------------------ *)
+
+let is_inside cfg ~u ~v z =
+  let tree = Config.tree cfg in
+  let case = classify cfg ~u ~v in
+  if on_border cfg ~u ~v z then false
+  else begin
+    match case with
+    | Unrelated ->
+      let w = Rooted.lca tree u v in
+      if Rooted.is_ancestor tree ~anc:u ~desc:z then
+        child_inside cfg ~u ~v ~case u (child_toward cfg u z)
+      else if Rooted.is_ancestor tree ~anc:v ~desc:z then
+        child_inside cfg ~u ~v ~case v (child_toward cfg v z)
+      else if not (Rooted.is_ancestor tree ~anc:w ~desc:z) then false
+      else begin
+        (* Claim 3 interval, with border nodes already excluded. *)
+        let pl = Rooted.pi_left tree in
+        pl z > pl u + Rooted.size tree u - 1 && pl z < pl v
+      end
+    | Anc_left | Anc_right ->
+      if not (Rooted.is_ancestor tree ~anc:u ~desc:z) || z = u then false
+      else begin
+        let w1 = child_toward cfg u v in
+        let c = child_toward cfg u z in
+        if c <> w1 then child_inside cfg ~u ~v ~case u c
+        else if Rooted.is_ancestor tree ~anc:v ~desc:z then
+          child_inside cfg ~u ~v ~case v (child_toward cfg v z)
+        else begin
+          (* Claim 5 interval: Anc_right (the orientation of the Lemma 4
+             proof) pairs with the LEFT order, Anc_left with the RIGHT. *)
+          let pi =
+            match case with
+            | Anc_right | Unrelated -> Rooted.pi_left tree
+            | Anc_left -> Rooted.pi_right tree
+          in
+          pi z >= pi w1 && pi z < pi v
+        end
+      end
+  end
+
+(* All interior members, via the local rule: union of the subtrees hanging
+   inside at each border node.  O(|border| * degree + |interior|). *)
+let interior cfg ~u ~v =
+  let tree = Config.tree cfg in
+  let case = classify cfg ~u ~v in
+  let acc = ref [] in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun c ->
+          (* The whole subtree of an inside child is inside. *)
+          let lo = Rooted.pi_left tree c in
+          for i = lo to lo + Rooted.size tree c - 1 do
+            acc := Rooted.node_at_left tree i :: !acc
+          done)
+        (inside_children cfg ~u ~v ~case x))
+    (border cfg ~u ~v);
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Exact reference via the two faces of T + e.                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Rotation of T + e induced by the configuration's rotation; the root's
+   order starts at the position of the virtual root edge. *)
+let tree_plus_edge cfg ~u ~v =
+  let g = Config.graph cfg in
+  let tree = Config.tree cfg in
+  let nn = Config.n cfg in
+  let root = Rooted.root tree in
+  let g' = Graph.of_edges ~n:nn ((u, v) :: Rooted.edges tree) in
+  let orders =
+    Array.init nn (fun x ->
+        let raw =
+          if x = root then begin
+            match Config.root_first cfg with
+            | Some f -> Rotation.order_from (Config.rot cfg) x ~first:f
+            | None -> Rotation.order (Config.rot cfg) x
+          end
+          else Rotation.order (Config.rot cfg) x
+        in
+        raw |> Array.to_list
+        |> List.filter (fun y -> Graph.mem_edge g' x y)
+        |> Array.of_list)
+  in
+  ignore g;
+  (g', Rotation.of_orders g' orders)
+
+let interior_reference cfg ~u ~v =
+  let tree = Config.tree cfg in
+  let root = Rooted.root tree in
+  let g', rot' = tree_plus_edge cfg ~u ~v in
+  let faces = Rotation.faces g' rot' in
+  (match faces with
+  | [ _; _ ] -> ()
+  | fs ->
+    invalid_arg
+      (Printf.sprintf "Faces.interior_reference: expected 2 faces, got %d"
+         (List.length fs)));
+  (* The outer face is the one containing the root corner where the virtual
+     root edge sits: the dart from the root to the first neighbour of its
+     rotation. *)
+  let first_nbr = (Rotation.order rot' root).(0) in
+  let is_outer f = List.exists (fun d -> d = (root, first_nbr)) f in
+  let inner =
+    match faces with
+    | [ a; b ] -> if is_outer a then b else a
+    | _ -> assert false
+  in
+  let on_cycle = Hashtbl.create 64 in
+  List.iter (fun x -> Hashtbl.replace on_cycle x ()) (border cfg ~u ~v);
+  let members = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      if not (Hashtbl.mem on_cycle a) then Hashtbl.replace members a ();
+      if not (Hashtbl.mem on_cycle b) then Hashtbl.replace members b ())
+    inner;
+  Hashtbl.fold (fun x () acc -> x :: acc) members []
+
+(* Containment: is the real fundamental edge f inside (the closed region of)
+   F_e?  Both endpoints must lie on F_e, and when both sit on the border the
+   edge must actually be drawn on the interior side — checked with the same
+   positional rule that classifies border corners (Claims 1 and 4 apply to
+   arbitrary neighbours of border nodes, not only tree children). *)
+let edge_in_face cfg ~e:(u, v) ~f:(a, b) =
+  if (a, b) = (u, v) || (b, a) = (u, v) then false
+  else begin
+    let inside z = is_inside cfg ~u ~v z in
+    let bord z = on_border cfg ~u ~v z in
+    let member z = inside z || bord z in
+    member a && member b
+    && (inside a || inside b
+       ||
+       let case = classify cfg ~u ~v in
+       child_inside cfg ~u ~v ~case a b)
+  end

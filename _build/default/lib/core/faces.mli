@@ -1,0 +1,54 @@
+(** Fundamental faces of a planar configuration (Sections 2 and 4).
+
+    For a real fundamental edge e = uv (normalized so that
+    [pi_left u < pi_left v]), the fundamental face F_e is the face of T + e
+    not containing the virtual root.  The module provides both the paper's
+    O(log n) local characterization (Claims 1/3/4/5, Remark 1) and an exact
+    O(n) face-traversal reference; the test suite enforces their
+    agreement. *)
+
+type edge_case =
+  | Unrelated  (** neither endpoint is an ancestor of the other *)
+  | Anc_left  (** u ancestor of v, edge E-left oriented (Definition 1) *)
+  | Anc_right
+
+val case_name : edge_case -> string
+
+val normalize : Config.t -> int * int -> int * int
+(** Order an edge's endpoints by LEFT position. *)
+
+val classify : Config.t -> u:int -> v:int -> edge_case
+
+val npos : Config.t -> int -> int -> int
+(** Rotation position of a neighbour, normalized so the parent edge (or the
+    virtual root edge) sits at 0. *)
+
+val child_toward : Config.t -> int -> int -> int
+(** Child of the first node on the tree path towards its descendant. *)
+
+val on_border : Config.t -> u:int -> v:int -> int -> bool
+(** Is the node on the tree path between u and v? *)
+
+val border : Config.t -> u:int -> v:int -> int list
+(** The border path C_e, from u to v. *)
+
+val child_inside : Config.t -> u:int -> v:int -> case:edge_case -> int -> int -> bool
+(** [child_inside cfg ~u ~v ~case x c]: is the tree child [c] of border node
+    [x] inside F_e?  (Claims 1 and 4.) *)
+
+val inside_children : Config.t -> u:int -> v:int -> case:edge_case -> int -> int list
+(** Children of a border node hanging inside F_e, in rotation order. *)
+
+val is_inside : Config.t -> u:int -> v:int -> int -> bool
+(** O(log n) interior membership (Remark 1 / Claims 3 and 5). *)
+
+val interior : Config.t -> u:int -> v:int -> int list
+(** All interior members, via the local characterization. *)
+
+val interior_reference : Config.t -> u:int -> v:int -> int list
+(** Exact interior by traversing the two faces of T + e and discarding the
+    one holding the virtual root corner. *)
+
+val edge_in_face : Config.t -> e:int * int -> f:int * int -> bool
+(** Is the real fundamental edge [f] contained in (the closed region of)
+    F_e? *)

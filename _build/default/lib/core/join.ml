@@ -1,0 +1,200 @@
+(* JOIN-PROBLEM (Lemma 2): grow a partial DFS tree by the nodes of a marked
+   cycle separator, following the DFS-RULE.
+
+   Per iteration, every component of the not-yet-visited region that still
+   holds marked nodes receives one tree path: from its anchor (the node with
+   the deepest neighbour in the partial tree, as the DFS-RULE requires) to
+   the deepest remaining marked node of a spanning tree that prefers
+   marked-marked edges.  Preferring those edges keeps every surviving piece
+   of the separator a path of the spanning tree, so the chosen path absorbs
+   at least half of the piece it enters — giving the O(log) iteration bound
+   of the paper, which experiment E9 measures. *)
+
+open Repro_graph
+open Repro_congest
+
+type state = {
+  g : Graph.t;
+  parent : int array; (* -1 at the DFS root, -2 while unvisited *)
+  depth : int array; (* -1 while unvisited *)
+}
+
+let create g ~root =
+  let n = Graph.n g in
+  let parent = Array.make n (-2) in
+  let depth = Array.make n (-1) in
+  parent.(root) <- -1;
+  depth.(root) <- 0;
+  { g; parent; depth }
+
+let in_tree st v = st.parent.(v) > -2
+
+(* Anchor of a component: the unvisited node with the deepest visited
+   neighbour (ties broken by identifiers for determinism).  Returns the
+   anchor and that neighbour. *)
+let component_anchor st members =
+  List.fold_left
+    (fun acc v ->
+      Array.fold_left
+        (fun acc u ->
+          if in_tree st u then begin
+            match acc with
+            | Some (_, best_u) when st.depth.(best_u) > st.depth.(u) -> acc
+            | Some (best_v, best_u)
+              when st.depth.(best_u) = st.depth.(u) && (best_u, best_v) <= (u, v) ->
+              acc
+            | _ -> Some (v, u)
+          end
+          else acc)
+        acc (Graph.neighbors st.g v))
+    None members
+
+(* Spanning tree of the member set rooted at [anchor], preferring edges
+   between still-marked nodes (Kruskal with 0/1 weights), then BFS over the
+   chosen edges for parents and depths. *)
+let preferring_tree st members ~anchor ~marked =
+  let member = Hashtbl.create (List.length members) in
+  List.iteri (fun i v -> Hashtbl.replace member v i) members;
+  let k = List.length members in
+  let idx v = Hashtbl.find member v in
+  let uf = Repro_util.Union_find.create k in
+  let adj = Array.make k [] in
+  let add_edge u v =
+    if Repro_util.Union_find.union uf (idx u) (idx v) then begin
+      adj.(idx u) <- v :: adj.(idx u);
+      adj.(idx v) <- u :: adj.(idx v)
+    end
+  in
+  let consider pass =
+    List.iter
+      (fun v ->
+        Array.iter
+          (fun u ->
+            if Hashtbl.mem member u && v < u then begin
+              let zero = marked v && marked u in
+              if (pass = 0 && zero) || (pass = 1 && not zero) then add_edge v u
+            end)
+          (Graph.neighbors st.g v))
+      members
+  in
+  consider 0;
+  consider 1;
+  let parent = Array.make k (-2) in
+  let depth = Array.make k (-1) in
+  parent.(idx anchor) <- -1;
+  depth.(idx anchor) <- 0;
+  let queue = Queue.create () in
+  Queue.add anchor queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun u ->
+        if parent.(idx u) = -2 then begin
+          parent.(idx u) <- v;
+          depth.(idx u) <- depth.(idx v) + 1;
+          Queue.add u queue
+        end)
+      adj.(idx v)
+  done;
+  (idx, parent, depth)
+
+(* Attach the tree path anchor -> target to the partial DFS tree. *)
+let attach st ~anchor ~anchor_parent ~idx ~tree_parent target =
+  let rec path_to v acc =
+    if v = anchor then v :: acc else path_to tree_parent.(idx v) (v :: acc)
+  in
+  let path = path_to target [] in
+  let rec walk prev = function
+    | [] -> ()
+    | v :: rest ->
+      st.parent.(v) <- prev;
+      st.depth.(v) <- st.depth.(prev) + 1;
+      walk v rest
+  in
+  walk anchor_parent path
+
+(* Components of the unvisited part of [members]. *)
+let unvisited_components st members =
+  let seen = Hashtbl.create 64 in
+  let comps = ref [] in
+  List.iter
+    (fun v ->
+      if (not (in_tree st v)) && not (Hashtbl.mem seen v) then begin
+        let comp = ref [] in
+        let queue = Queue.create () in
+        Hashtbl.replace seen v ();
+        Queue.add v queue;
+        while not (Queue.is_empty queue) do
+          let x = Queue.pop queue in
+          comp := x :: !comp;
+          Array.iter
+            (fun u ->
+              if (not (in_tree st u)) && not (Hashtbl.mem seen u) then begin
+                Hashtbl.replace seen u ();
+                Queue.add u queue
+              end)
+            (Graph.neighbors st.g x)
+        done;
+        comps := !comp :: !comps
+      end)
+    members;
+  !comps
+
+(* Add all separator nodes of one original component to the partial DFS
+   tree.  Returns the number of halving iterations used. *)
+let join ?rounds st ~members ~separator =
+  let remaining = Hashtbl.create (List.length separator) in
+  List.iter
+    (fun v -> if not (in_tree st v) then Hashtbl.replace remaining v ())
+    separator;
+  let iterations = ref 0 in
+  while Hashtbl.length remaining > 0 do
+    incr iterations;
+    (match rounds with
+    | Some r ->
+      (* One iteration: spanning forest, anchor/leaf aggregation, re-root,
+         path marking — all Õ(D) (Section 6.1). *)
+      Rounds.charge_spanning_forest r;
+      Rounds.charge_aggregate r "join-anchor";
+      Rounds.charge_reroot r;
+      Rounds.charge_mark_path r
+    | None -> ());
+    let comps = unvisited_components st members in
+    let touched = ref false in
+    List.iter
+      (fun comp ->
+        let has_marked = List.exists (Hashtbl.mem remaining) comp in
+        if has_marked then begin
+          match component_anchor st comp with
+          | None -> invalid_arg "Join.join: component with no tree neighbour"
+          | Some (anchor, anchor_parent) ->
+            let idx, tree_parent, tree_depth =
+              preferring_tree st comp ~anchor ~marked:(Hashtbl.mem remaining)
+            in
+            (* Deepest remaining marked node of this component's tree. *)
+            let target =
+              List.fold_left
+                (fun acc v ->
+                  if Hashtbl.mem remaining v then begin
+                    match acc with
+                    | Some best when tree_depth.(idx best) >= tree_depth.(idx v) ->
+                      acc
+                    | _ -> Some v
+                  end
+                  else acc)
+                None comp
+            in
+            (match target with
+            | None -> ()
+            | Some h ->
+              attach st ~anchor ~anchor_parent ~idx ~tree_parent h;
+              touched := true;
+              List.iter
+                (fun v -> if in_tree st v then Hashtbl.remove remaining v)
+                comp)
+        end)
+      comps;
+    if not !touched then
+      invalid_arg "Join.join: no progress — separator nodes unreachable"
+  done;
+  !iterations

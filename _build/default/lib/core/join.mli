@@ -1,0 +1,27 @@
+(** JOIN-PROBLEM (Lemma 2): growing a partial DFS tree by the nodes of a
+    marked cycle separator under the DFS-RULE. *)
+
+open Repro_graph
+open Repro_congest
+
+type state = {
+  g : Graph.t;
+  parent : int array; (** -1 at the DFS root, -2 while unvisited *)
+  depth : int array; (** -1 while unvisited *)
+}
+
+val create : Graph.t -> root:int -> state
+
+val in_tree : state -> int -> bool
+
+val component_anchor : state -> int list -> (int * int) option
+(** The unvisited node of the component with the deepest visited neighbour,
+    paired with that neighbour (the DFS-RULE attachment point). *)
+
+val unvisited_components : state -> int list -> int list list
+(** Connected components of the unvisited part of the member set. *)
+
+val join : ?rounds:Rounds.t -> state -> members:int list -> separator:int list -> int
+(** Add every separator node of the component to the partial tree; returns
+    the number of halving iterations used (Lemma 2 bounds it by O(log n)
+    per surviving path piece). *)

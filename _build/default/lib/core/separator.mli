@@ -1,0 +1,41 @@
+(** The deterministic cycle-separator algorithm (Theorem 1, Section 5.3).
+
+    [find] runs the paper's six-phase algorithm on one planar configuration;
+    every candidate path is verified with a balance probe before being
+    returned (see DESIGN.md, deviation 2).  [find_partition] is Theorem 1
+    proper: separators for all parts of a partition, charged as a parallel
+    batch. *)
+
+open Repro_embedding
+open Repro_congest
+
+type result = {
+  separator : int list; (** vertices of the separator (a tree path) *)
+  endpoints : (int * int) option;
+      (** the certified closing edge of the cycle: a real fundamental edge,
+          or a virtual edge whose planar insertability follows from the
+          producing lemma (5, 6 or 8).  [None] for tree-phase and sweep
+          outputs, which are balanced tree-path separators without a
+          closing-edge certificate ([Check.cycle_closable] re-checks any
+          reported edge with the DMP tester). *)
+  phase : string; (** which phase/candidate produced the separator *)
+  candidates_tried : int;
+  weights_computed : int;
+}
+
+exception No_separator_found of string
+
+val find : ?rounds:Rounds.t -> Config.t -> result
+
+val shrink : ?rounds:Rounds.t -> Config.t -> int list -> int list
+(** Trim a separator path from both ends while it stays balanced (balance is
+    monotone under path inclusion, so two binary searches = O(log n)
+    verification probes).  The result remains a balanced tree-path separator
+    but may lose the cycle-closing property; use for applications that only
+    need balance. *)
+
+val find_partition :
+  ?rounds:Rounds.t -> Embedded.t -> parts:int list list -> (Config.t * result) list
+(** Separator of [G[P_i]] for every part; each part must induce a connected
+    subgraph.  Results are in part order, paired with the (renumbered)
+    per-part configuration. *)

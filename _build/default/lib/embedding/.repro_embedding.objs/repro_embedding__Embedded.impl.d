@@ -1,0 +1,1 @@
+lib/embedding/embedded.ml: Array Fmt Geometry Graph Repro_graph Rotation

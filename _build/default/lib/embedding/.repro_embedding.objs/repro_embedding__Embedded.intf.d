@@ -1,0 +1,1 @@
+lib/embedding/embedded.mli: Format Geometry Graph Repro_graph Rotation

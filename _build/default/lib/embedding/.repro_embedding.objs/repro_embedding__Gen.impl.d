@@ -1,0 +1,1 @@
+lib/embedding/gen.ml: Algo Array Embedded Float Graph List Printf Repro_graph Repro_util Rng Rotation

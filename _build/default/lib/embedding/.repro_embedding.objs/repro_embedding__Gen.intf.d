@@ -1,0 +1,1 @@
+lib/embedding/gen.mli: Embedded

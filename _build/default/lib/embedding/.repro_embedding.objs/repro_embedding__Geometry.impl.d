@@ -1,0 +1,1 @@
+lib/embedding/geometry.ml: Array Graph Repro_graph Rotation

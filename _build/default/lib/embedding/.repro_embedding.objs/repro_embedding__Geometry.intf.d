@@ -1,0 +1,1 @@
+lib/embedding/geometry.mli: Graph Repro_graph Rotation

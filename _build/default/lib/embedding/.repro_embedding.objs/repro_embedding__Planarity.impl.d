@@ -1,0 +1,1 @@
+lib/embedding/planarity.ml: Array Graph Hashtbl List Queue Repro_graph Rotation

@@ -1,0 +1,1 @@
+lib/embedding/planarity.mli: Graph Repro_graph Rotation

@@ -1,0 +1,1 @@
+lib/embedding/rotation.ml: Algo Array Graph Hashtbl List Repro_graph

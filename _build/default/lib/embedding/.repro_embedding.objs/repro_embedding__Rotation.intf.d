@@ -1,0 +1,1 @@
+lib/embedding/rotation.mli: Graph Repro_graph

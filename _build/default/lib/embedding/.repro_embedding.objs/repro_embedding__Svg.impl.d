@@ -1,0 +1,1 @@
+lib/embedding/svg.ml: Array Buffer Embedded Float Graph Hashtbl List Printf Repro_graph Rotation

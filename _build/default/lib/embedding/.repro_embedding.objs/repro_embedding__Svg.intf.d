@@ -1,0 +1,1 @@
+lib/embedding/svg.mli: Embedded Geometry Graph Repro_graph

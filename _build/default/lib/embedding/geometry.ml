@@ -1,0 +1,80 @@
+(* Straight-line embeddings: clockwise sorting, point-in-polygon, and a
+   brute-force crossing check used as ground truth in tests. *)
+
+open Repro_graph
+
+type point = float * float
+
+let sub (x1, y1) (x2, y2) = (x1 -. x2, y1 -. y2)
+
+let cross (x1, y1) (x2, y2) = (x1 *. y2) -. (y1 *. x2)
+
+(* Orientation of the triangle (a, b, c): positive = counterclockwise. *)
+let orient a b c = cross (sub b a) (sub c a)
+
+(* Sort the neighbours of [v] clockwise by angle.  With the standard plane
+   orientation (x right, y up), decreasing [atan2] order is clockwise. *)
+let clockwise_order coords v nbrs =
+  let (vx, vy) = coords.(v) in
+  let angle u =
+    let (ux, uy) = coords.(u) in
+    atan2 (uy -. vy) (ux -. vx)
+  in
+  let nbrs = Array.copy nbrs in
+  Array.sort
+    (fun a b ->
+      let c = compare (angle b) (angle a) in
+      if c <> 0 then c else compare a b)
+    nbrs;
+  nbrs
+
+let rotation_of_coords g coords =
+  Rotation.of_orders g
+    (Array.init (Graph.n g) (fun v -> clockwise_order coords v (Graph.neighbors g v)))
+
+(* Ray casting; points on the boundary may be classified either way, so
+   callers must exclude boundary vertices explicitly. *)
+let point_in_polygon poly (px, py) =
+  let n = Array.length poly in
+  let inside = ref false in
+  for i = 0 to n - 1 do
+    let (x1, y1) = poly.(i) in
+    let (x2, y2) = poly.((i + 1) mod n) in
+    if (y1 > py) <> (y2 > py) then begin
+      let x_at = x1 +. ((py -. y1) /. (y2 -. y1) *. (x2 -. x1)) in
+      if px < x_at then inside := not !inside
+    end
+  done;
+  !inside
+
+(* Proper crossing of open segments (shared endpoints do not count). *)
+let segments_cross (a, b) (c, d) =
+  let o1 = orient a b c and o2 = orient a b d in
+  let o3 = orient c d a and o4 = orient c d b in
+  o1 *. o2 < 0.0 && o3 *. o4 < 0.0
+
+(* O(m^2) straight-line planarity check; test-only ground truth. *)
+let straight_line_planar g coords =
+  let es = Array.of_list (Graph.edges g) in
+  let ok = ref true in
+  let k = Array.length es in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let (u1, v1) = es.(i) and (u2, v2) = es.(j) in
+      if u1 <> u2 && u1 <> v2 && v1 <> u2 && v1 <> v2 then
+        if segments_cross (coords.(u1), coords.(v1)) (coords.(u2), coords.(v2))
+        then ok := false
+    done
+  done;
+  !ok
+
+let centroid pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Geometry.centroid: empty";
+  let sx = ref 0.0 and sy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    pts;
+  (!sx /. float_of_int n, !sy /. float_of_int n)

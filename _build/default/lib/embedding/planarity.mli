@@ -1,0 +1,18 @@
+(** Planarity testing and embedding of arbitrary graphs (no coordinates
+    needed): Demoucron–Malgrange–Pertuiset vertex addition per biconnected
+    block, glued at cut vertices.  The returned rotation system always
+    passes the Euler-formula check. *)
+
+open Repro_graph
+
+type outcome = Planar of Rotation.t | Not_planar
+
+val biconnected_components : Graph.t -> (int * int) list list
+(** Edge sets of the biconnected blocks (bridges are single-edge blocks). *)
+
+val embed : Graph.t -> Rotation.t option
+(** A planar rotation system, or [None] if the graph is not planar. *)
+
+val is_planar : Graph.t -> bool
+
+val outcome : Graph.t -> outcome

@@ -1,0 +1,107 @@
+(* Combinatorial planar embeddings as rotation systems.
+
+   [order.(v)] lists the neighbours of v in clockwise order around v.  The
+   order is circular; [position] gives the index of a neighbour within it.
+   Positions are looked up through one hash table over encoded vertex pairs,
+   which keeps the per-query cost O(1). *)
+
+open Repro_graph
+
+type t = {
+  order : int array array;
+  pos : (int, int) Hashtbl.t; (* encode v u -> index of u in order.(v) *)
+}
+
+let encode v u = (v * 0x40000000) + u
+
+let of_orders g order =
+  if Array.length order <> Graph.n g then
+    invalid_arg "Rotation.of_orders: wrong number of vertices";
+  let pos = Hashtbl.create (4 * Graph.m g) in
+  Array.iteri
+    (fun v nbrs ->
+      if Array.length nbrs <> Graph.degree g v then
+        invalid_arg "Rotation.of_orders: degree mismatch";
+      Array.iteri
+        (fun i u ->
+          if not (Graph.mem_edge g v u) then
+            invalid_arg "Rotation.of_orders: rotation lists a non-edge";
+          if Hashtbl.mem pos (encode v u) then
+            invalid_arg "Rotation.of_orders: duplicate neighbour";
+          Hashtbl.add pos (encode v u) i)
+        nbrs)
+    order;
+  { order; pos }
+
+let of_adjacency g =
+  of_orders g (Array.init (Graph.n g) (fun v -> Array.copy (Graph.neighbors g v)))
+
+let order t v = t.order.(v)
+
+let degree t v = Array.length t.order.(v)
+
+let position t v u =
+  match Hashtbl.find_opt t.pos (encode v u) with
+  | Some i -> i
+  | None -> invalid_arg "Rotation.position: not a neighbour"
+
+let next_clockwise t v u =
+  let d = degree t v in
+  t.order.(v).((position t v u + 1) mod d)
+
+let prev_clockwise t v u =
+  let d = degree t v in
+  t.order.(v).(((position t v u - 1) + d) mod d)
+
+(* Circular order around [v] starting at [first] (exclusive of [first] when
+   [strict] — callers usually want the parent edge first). *)
+let order_from t v ~first =
+  let d = degree t v in
+  let i0 = position t v first in
+  Array.init d (fun k -> t.order.(v).((i0 + k) mod d))
+
+(* Face traversal.  A dart is a directed edge (u, v).  Following the "next
+   dart" rule below partitions all 2m darts into closed walks; for a genus-0
+   rotation system those walks are exactly the faces of the embedding.  With
+   clockwise vertex rotations this rule walks each face so that its interior
+   lies to the left of the traversal. *)
+let next_dart t (u, v) = (v, next_clockwise t v u)
+
+let faces g t =
+  let darts = Hashtbl.create (4 * Graph.m g) in
+  Graph.iter_edges g (fun u v ->
+      Hashtbl.replace darts (encode u v) false;
+      Hashtbl.replace darts (encode v u) false);
+  let result = ref [] in
+  let visit (u, v) =
+    if not (Hashtbl.find darts (encode u v)) then begin
+      let walk = ref [] in
+      let rec go (a, b) =
+        if not (Hashtbl.find darts (encode a b)) then begin
+          Hashtbl.replace darts (encode a b) true;
+          walk := (a, b) :: !walk;
+          go (next_dart t (a, b))
+        end
+      in
+      go (u, v);
+      result := List.rev !walk :: !result
+    end
+  in
+  Graph.iter_edges g (fun u v ->
+      visit (u, v);
+      visit (v, u));
+  !result
+
+let count_faces g t = List.length (faces g t)
+
+(* Euler's formula, per component (each lives on its own sphere): a
+   component with at least one edge satisfies V - E + F = 2, while an
+   isolated vertex contributes V = 1 and no face walk.  Summing:
+   V - E + F = 2 * (#components with edges) + (#isolated vertices). *)
+let is_planar_embedding g t =
+  let comp, c = Algo.components g in
+  let sizes = Array.make c 0 in
+  Array.iter (fun ci -> sizes.(ci) <- sizes.(ci) + 1) comp;
+  let isolated = Array.fold_left (fun a s -> if s = 1 then a + 1 else a) 0 sizes in
+  let with_edges = c - isolated in
+  Graph.n g - Graph.m g + count_faces g t = (2 * with_edges) + isolated

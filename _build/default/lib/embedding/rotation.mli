@@ -1,0 +1,43 @@
+(** Combinatorial planar embeddings as rotation systems.
+
+    For every vertex [v], the rotation lists the neighbours of [v] in
+    clockwise order (the paper's [t_v]).  The order is circular. *)
+
+open Repro_graph
+
+type t
+
+val of_orders : Graph.t -> int array array -> t
+(** Build from explicit clockwise neighbour orders; validates that every
+    order is a permutation of the adjacency. *)
+
+val of_adjacency : Graph.t -> t
+(** Use the graph's adjacency order as the rotation (useful for trees, where
+    any rotation system is planar). *)
+
+val order : t -> int -> int array
+(** Clockwise neighbour order of a vertex (do not mutate). *)
+
+val degree : t -> int -> int
+
+val position : t -> int -> int -> int
+(** [position t v u] is the index of [u] in the rotation of [v]. *)
+
+val next_clockwise : t -> int -> int -> int
+(** Neighbour following [u] clockwise around [v]. *)
+
+val prev_clockwise : t -> int -> int -> int
+
+val order_from : t -> int -> first:int -> int array
+(** Rotation of [v] as a linear order starting at neighbour [first]. *)
+
+val next_dart : t -> int * int -> int * int
+(** Face-traversal successor of a directed edge. *)
+
+val faces : Graph.t -> t -> (int * int) list list
+(** All faces as closed dart walks (each dart appears in exactly one face). *)
+
+val count_faces : Graph.t -> t -> int
+
+val is_planar_embedding : Graph.t -> t -> bool
+(** Euler-formula check: [V - E + F = 1 + components]. *)

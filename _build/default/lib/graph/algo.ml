@@ -1,0 +1,183 @@
+(* Centralized graph algorithms used for verification, ground truth and
+   instance preparation.  The distributed algorithms live in [repro.congest]
+   and [repro.core]; nothing here is charged CONGEST rounds. *)
+
+let bfs_dist g src =
+  Graph.check_vertex g src;
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let bfs_parents g src =
+  Graph.check_vertex g src;
+  let n = Graph.n g in
+  let parent = Array.make n (-2) in
+  let queue = Queue.create () in
+  parent.(src) <- -1;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if parent.(v) = -2 then begin
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  parent
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if comp.(v) < 0 then begin
+      let id = !count in
+      incr count;
+      let queue = Queue.create () in
+      comp.(v) <- id;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun w ->
+            if comp.(w) < 0 then begin
+              comp.(w) <- id;
+              Queue.add w queue
+            end)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  (comp, !count)
+
+let component_sizes g =
+  let comp, k = components g in
+  let sizes = Array.make k 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+  sizes
+
+let is_connected g = Graph.n g = 0 || snd (components g) = 1
+
+let eccentricity g v =
+  let dist = bfs_dist g v in
+  Array.fold_left max 0 dist
+
+(* Exact diameter by all-pairs BFS; fine for simulator-scale graphs. *)
+let diameter_exact g =
+  let n = Graph.n g in
+  let d = ref 0 in
+  for v = 0 to n - 1 do
+    d := max !d (eccentricity g v)
+  done;
+  !d
+
+(* Double-sweep lower bound: BFS from an arbitrary node, then from the
+   farthest node found.  Exact on trees, a good estimate on planar graphs. *)
+let diameter_two_sweep g =
+  if Graph.n g = 0 then 0
+  else begin
+    let dist0 = bfs_dist g 0 in
+    let far = ref 0 in
+    Array.iteri (fun v d -> if d > dist0.(!far) then far := v) dist0;
+    eccentricity g !far
+  end
+
+let diameter ?(exact_limit = 3000) g =
+  if Graph.n g <= exact_limit then diameter_exact g else diameter_two_sweep g
+
+(* Iterative centralized DFS honouring adjacency order; reference
+   implementation against which distributed DFS trees are validated. *)
+let dfs_parents g src =
+  Graph.check_vertex g src;
+  let n = Graph.n g in
+  let parent = Array.make n (-2) in
+  let next = Array.make n 0 in
+  let stack = ref [ src ] in
+  parent.(src) <- -1;
+  let rec step () =
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+      let adj = Graph.neighbors g u in
+      if next.(u) >= Array.length adj then begin
+        stack := rest;
+        step ()
+      end
+      else begin
+        let v = adj.(next.(u)) in
+        next.(u) <- next.(u) + 1;
+        if parent.(v) = -2 then begin
+          parent.(v) <- u;
+          stack := v :: !stack
+        end;
+        step ()
+      end
+  in
+  step ();
+  parent
+
+(* A rooted spanning tree T of G (given as a parent array) is a DFS tree iff
+   every non-tree edge of G joins an ancestor-descendant pair. *)
+let is_dfs_tree g ~root ~parent =
+  let n = Graph.n g in
+  if n = 0 then true
+  else begin
+    let tin = Array.make n (-1) and tout = Array.make n (-1) in
+    let children = Array.make n [] in
+    let ok = ref (parent.(root) = -1) in
+    for v = 0 to n - 1 do
+      if v <> root then begin
+        match parent.(v) with
+        | p when p >= 0 && p < n && Graph.mem_edge g p v ->
+          children.(p) <- v :: children.(p)
+        | _ -> ok := false
+      end
+    done;
+    if !ok then begin
+      (* Euler-tour timestamps, iteratively to avoid stack overflow. *)
+      let clock = ref 0 in
+      let stack = ref [ (root, false) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, closing) :: rest ->
+          stack := rest;
+          if closing then begin
+            tout.(v) <- !clock;
+            incr clock
+          end
+          else begin
+            tin.(v) <- !clock;
+            incr clock;
+            stack := (v, true) :: !stack;
+            List.iter (fun c -> stack := (c, false) :: !stack) children.(v)
+          end
+      done;
+      (* All vertices reached exactly once? *)
+      for v = 0 to n - 1 do
+        if tin.(v) < 0 then ok := false
+      done;
+      if !ok then begin
+        let is_ancestor a b = tin.(a) <= tin.(b) && tout.(b) <= tout.(a) in
+        Graph.iter_edges g (fun u v ->
+            if parent.(u) <> v && parent.(v) <> u then
+              if not (is_ancestor u v || is_ancestor v u) then ok := false)
+      end
+    end;
+    !ok
+  end

@@ -1,0 +1,101 @@
+(* Simple undirected graphs over vertices [0 .. n-1].
+
+   Adjacency is stored as immutable-by-convention arrays.  Vertex pairs are
+   encoded into a single int for O(1) membership tests; this bounds n at
+   2^31 on 64-bit platforms, far beyond what the simulator handles. *)
+
+type t = {
+  n : int;
+  adj : int array array;
+  edge_index : (int, unit) Hashtbl.t;
+  m : int;
+}
+
+let encode u v = if u < v then (u * 0x40000000) + v else (v * 0x40000000) + u
+
+let n t = t.n
+
+let m t = t.m
+
+let degree t v = Array.length t.adj.(v)
+
+let neighbors t v = t.adj.(v)
+
+let mem_edge t u v =
+  u <> v && u >= 0 && v >= 0 && u < t.n && v < t.n
+  && Hashtbl.mem t.edge_index (encode u v)
+
+let check_vertex t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph: vertex out of range"
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let edge_index = Hashtbl.create (2 * List.length edges) in
+  let deg = Array.make n 0 in
+  let uniq =
+    List.filter
+      (fun (u, v) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.of_edges: vertex out of range";
+        if u = v then invalid_arg "Graph.of_edges: self loop";
+        let key = encode u v in
+        if Hashtbl.mem edge_index key then false
+        else begin
+          Hashtbl.add edge_index key ();
+          deg.(u) <- deg.(u) + 1;
+          deg.(v) <- deg.(v) + 1;
+          true
+        end)
+      edges
+  in
+  let adj = Array.init n (fun v -> Array.make deg.(v) (-1)) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    uniq;
+  { n; adj; edge_index; m = List.length uniq }
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+  done;
+  !acc
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) t.adj.(u)
+  done
+
+(* Subgraph induced by [keep]; [`Map (old -> new)] positions are compacted.
+   Returns the subgraph together with old->new and new->old vertex maps. *)
+let induced t keep =
+  let new_of_old = Array.make t.n (-1) in
+  let count = ref 0 in
+  for v = 0 to t.n - 1 do
+    if keep.(v) then begin
+      new_of_old.(v) <- !count;
+      incr count
+    end
+  done;
+  let old_of_new = Array.make !count (-1) in
+  for v = 0 to t.n - 1 do
+    if keep.(v) then old_of_new.(new_of_old.(v)) <- v
+  done;
+  (* Scan only the kept vertices' adjacency, not the whole edge set, so a
+     batch of small induced subgraphs stays near-linear overall. *)
+  let es = ref [] in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun v -> if u < v && keep.(v) then es := (new_of_old.(u), new_of_old.(v)) :: !es)
+        t.adj.(u))
+    old_of_new;
+  (of_edges ~n:!count !es, new_of_old, old_of_new)
+
+let pp fmt t =
+  Fmt.pf fmt "graph(n=%d, m=%d)" t.n t.m

@@ -1,0 +1,33 @@
+(** Undirected simple graphs over vertices [0 .. n-1]. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** Build a graph; duplicate edges are dropped, self loops rejected. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val degree : t -> int -> int
+
+val neighbors : t -> int -> int array
+(** Adjacency array of a vertex (do not mutate). *)
+
+val mem_edge : t -> int -> int -> bool
+
+val check_vertex : t -> int -> unit
+(** Raises [Invalid_argument] if the vertex is out of range. *)
+
+val edges : t -> (int * int) list
+(** Each edge once, as [(u, v)] with [u < v]. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val induced : t -> bool array -> t * int array * int array
+(** [induced g keep] is the subgraph induced by the marked vertices, plus the
+    old-to-new (-1 when dropped) and new-to-old vertex maps. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tree/rooted.ml: Array Fmt List Queue Repro_embedding Rotation

@@ -1,0 +1,1 @@
+lib/tree/rooted.mli: Format Repro_embedding Rotation

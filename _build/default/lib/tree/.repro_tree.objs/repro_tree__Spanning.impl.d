@@ -1,0 +1,1 @@
+lib/tree/spanning.ml: Algo Array Graph List Queue Repro_graph Repro_util Rng Union_find

@@ -1,0 +1,1 @@
+lib/tree/spanning.mli: Graph Repro_graph

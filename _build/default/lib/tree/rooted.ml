@@ -1,0 +1,245 @@
+(* Rooted spanning trees with children ordered by the planar embedding.
+
+   Following the paper's convention (Section 5.1), the edge from a node to
+   its parent sits at position 0 of the node's rotation, and the children
+   appear clockwise after it.  The LEFT-DFS-ORDER visits children in
+   counterclockwise order (greatest rotation position first); the
+   RIGHT-DFS-ORDER visits them clockwise.  Both orders are computed here
+   centrally; the CONGEST round cost of the distributed computation
+   (Lemma 11) is charged by [Repro_congest.Rounds]. *)
+
+open Repro_embedding
+
+type t = {
+  root : int;
+  parent : int array; (* -1 at the root *)
+  depth : int array;
+  children : int array array; (* clockwise order, parent edge first *)
+  size : int array; (* n_T(v): nodes in the subtree rooted at v *)
+  pi_left : int array; (* LEFT-DFS-ORDER position, 0-based *)
+  pi_right : int array; (* RIGHT-DFS-ORDER position, 0-based *)
+  left_at : int array; (* inverse of pi_left *)
+  right_at : int array; (* inverse of pi_right *)
+  up : int array array; (* binary-lifting ancestor table [k].(v) *)
+}
+
+let n t = Array.length t.parent
+let root t = t.root
+let parent t v = t.parent.(v)
+let depth t v = t.depth.(v)
+let children t v = t.children.(v)
+let size t v = t.size.(v)
+let pi_left t v = t.pi_left.(v)
+let pi_right t v = t.pi_right.(v)
+let node_at_left t i = t.left_at.(i)
+let node_at_right t i = t.right_at.(i)
+
+let is_leaf t v = Array.length t.children.(v) = 0
+
+(* DFS-interval ancestor test: u is an ancestor of v (reflexively). *)
+let is_ancestor t ~anc ~desc =
+  t.pi_left.(anc) <= t.pi_left.(desc)
+  && t.pi_left.(desc) < t.pi_left.(anc) + t.size.(anc)
+
+let in_subtree t ~of_:u v = is_ancestor t ~anc:u ~desc:v
+
+let build ?root_first ~rot ~root parent =
+  let n = Array.length parent in
+  if n = 0 then invalid_arg "Rooted.build: empty tree";
+  if parent.(root) <> -1 then invalid_arg "Rooted.build: root must have parent -1";
+  (* Children of v in clockwise rotation order, starting right after the
+     parent edge.  For the root the virtual parent direction is given by
+     [root_first]: the child listed first. *)
+  let children =
+    Array.init n (fun v ->
+        let nbrs =
+          if v = root then begin
+            match root_first with
+            | Some f -> Rotation.order_from rot v ~first:f
+            | None -> Rotation.order rot v
+          end
+          else Rotation.order_from rot v ~first:parent.(v)
+        in
+        (* Keep only tree children (neighbours whose parent is v), in
+           rotation order; drop the leading parent edge if present. *)
+        let kept = Array.to_list nbrs in
+        let kept = List.filter (fun u -> u <> parent.(v) && parent.(u) = v) kept in
+        Array.of_list kept)
+  in
+  let depth = Array.make n (-1) in
+  let size = Array.make n 1 in
+  let pi_left = Array.make n (-1) in
+  let pi_right = Array.make n (-1) in
+  (* Iterative post-order pass for sizes and pre-order passes for both DFS
+     orders; explicit stacks keep deep paths (Θ(n)) from overflowing. *)
+  depth.(root) <- 0;
+  let order = Array.make n root in
+  let top = ref 0 in
+  let stack = ref [ root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      order.(!top) <- v;
+      incr top;
+      Array.iter
+        (fun c ->
+          depth.(c) <- depth.(v) + 1;
+          stack := c :: !stack)
+        children.(v)
+  done;
+  if !top <> n then invalid_arg "Rooted.build: parent array is not a tree";
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    Array.iter (fun c -> size.(v) <- size.(v) + size.(c)) children.(v)
+  done;
+  let assign_order pi ~leftmost_first =
+    let clock = ref 0 in
+    let stack = ref [ root ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        stack := rest;
+        pi.(v) <- !clock;
+        incr clock;
+        let cs = children.(v) in
+        let k = Array.length cs in
+        (* Stack is LIFO: push the child to visit *last* first. *)
+        if leftmost_first then
+          for i = 0 to k - 1 do
+            stack := cs.(i) :: !stack
+          done
+        else
+          for i = k - 1 downto 0 do
+            stack := cs.(i) :: !stack
+          done
+    done
+  in
+  (* LEFT-DFS-ORDER explores the counterclockwise-most unexplored child
+     first, i.e. the child with the greatest rotation position; RIGHT takes
+     them clockwise. *)
+  assign_order pi_left ~leftmost_first:true;
+  assign_order pi_right ~leftmost_first:false;
+  let left_at = Array.make n (-1) and right_at = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    left_at.(pi_left.(v)) <- v;
+    right_at.(pi_right.(v)) <- v
+  done;
+  (* Binary lifting for LCA queries. *)
+  let levels =
+    let rec go k = if 1 lsl k >= n then k + 1 else go (k + 1) in
+    go 0
+  in
+  let up = Array.make levels [||] in
+  up.(0) <- Array.map (fun p -> if p < 0 then -1 else p) parent;
+  for k = 1 to levels - 1 do
+    up.(k) <-
+      Array.init n (fun v ->
+          let mid = up.(k - 1).(v) in
+          if mid < 0 then -1 else up.(k - 1).(mid))
+  done;
+  {
+    root;
+    parent = Array.copy parent;
+    depth;
+    children;
+    size;
+    pi_left;
+    pi_right;
+    left_at;
+    right_at;
+    up;
+  }
+
+let kth_ancestor t v k =
+  let v = ref v and k = ref k and bit = ref 0 in
+  while !k > 0 && !v >= 0 do
+    if !k land 1 = 1 then v := if !v < 0 then -1 else t.up.(!bit).(!v);
+    k := !k lsr 1;
+    incr bit
+  done;
+  !v
+
+let lca t a b =
+  if is_ancestor t ~anc:a ~desc:b then a
+  else if is_ancestor t ~anc:b ~desc:a then b
+  else begin
+    let a = ref a in
+    for k = Array.length t.up - 1 downto 0 do
+      let cand = t.up.(k).(!a) in
+      if cand >= 0 && not (is_ancestor t ~anc:cand ~desc:b) then a := cand
+    done;
+    t.parent.(!a)
+  end
+
+(* Vertices of the tree path from u to v, endpoints included, in order. *)
+let path t u v =
+  let w = lca t u v in
+  let rec climb x acc = if x = w then acc else climb t.parent.(x) (x :: acc) in
+  let from_u = List.rev (climb u []) in (* u .. just below w *)
+  let from_v = climb v [] in (* just below w .. v *)
+  from_u @ [ w ] @ from_v
+
+let path_length t u v =
+  let w = lca t u v in
+  t.depth.(u) + t.depth.(v) - (2 * t.depth.(w))
+
+(* Last node of the subtree of v in the given DFS order; this is always a
+   leaf (the deepest node along the chain of last-visited children). *)
+let last_leaf_left t v = t.left_at.(t.pi_left.(v) + t.size.(v) - 1)
+let last_leaf_right t v = t.right_at.(t.pi_right.(v) + t.size.(v) - 1)
+
+(* A centroid: removing it leaves components of size <= n/2. *)
+let centroid t =
+  let total = n t in
+  let v = ref t.root in
+  let continue_ = ref true in
+  while !continue_ do
+    let heavy = ref (-1) in
+    Array.iter
+      (fun c -> if t.size.(c) > total / 2 then heavy := c)
+      t.children.(!v);
+    if !heavy >= 0 then v := !heavy else continue_ := false
+  done;
+  !v
+
+(* Re-root the same set of tree edges at a new vertex (RE-ROOT-PROBLEM,
+   Lemma 19).  Children orders are recomputed from the rotation so that the
+   re-rooted tree again satisfies the parent-first convention. *)
+let reroot ?root_first ~rot t new_root =
+  let size = n t in
+  let adj = Array.make size [] in
+  for v = 0 to size - 1 do
+    if t.parent.(v) >= 0 then begin
+      adj.(v) <- t.parent.(v) :: adj.(v);
+      adj.(t.parent.(v)) <- v :: adj.(t.parent.(v))
+    end
+  done;
+  let parent = Array.make size (-2) in
+  parent.(new_root) <- -1;
+  let queue = Queue.create () in
+  Queue.add new_root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if parent.(v) = -2 then begin
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  build ?root_first ~rot ~root:new_root parent
+
+let edges t =
+  let acc = ref [] in
+  for v = 0 to n t - 1 do
+    if t.parent.(v) >= 0 then acc := (v, t.parent.(v)) :: !acc
+  done;
+  !acc
+
+let parent_array t = Array.copy t.parent
+
+let pp fmt t = Fmt.pf fmt "tree(n=%d, root=%d)" (n t) t.root

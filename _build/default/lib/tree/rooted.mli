@@ -1,0 +1,74 @@
+(** Rooted spanning trees with embedding-ordered children.
+
+    Children of each node are stored clockwise starting right after the
+    parent edge, realizing the paper's convention [t_v(parent) = 0].
+    LEFT/RIGHT DFS orders, subtree sizes and LCA structures are precomputed
+    at construction. *)
+
+open Repro_embedding
+
+type t
+
+val build : ?root_first:int -> rot:Rotation.t -> root:int -> int array -> t
+(** [build ~rot ~root parent] packages the parent array (root has [-1]) into
+    a rooted tree.  [root_first] selects which neighbour of the root comes
+    first in its rotation — i.e. where the virtual root edge is inserted
+    (paper, Section 4); defaults to the rotation's own starting point. *)
+
+val n : t -> int
+val root : t -> int
+
+val parent : t -> int -> int
+(** Parent of a vertex; [-1] at the root. *)
+
+val depth : t -> int -> int
+
+val children : t -> int -> int array
+(** Children in clockwise rotation order (do not mutate). *)
+
+val size : t -> int -> int
+(** [n_T(v)]: number of nodes in the subtree rooted at [v]. *)
+
+val is_leaf : t -> int -> bool
+
+val pi_left : t -> int -> int
+(** LEFT-DFS-ORDER position (0-based). *)
+
+val pi_right : t -> int -> int
+(** RIGHT-DFS-ORDER position (0-based). *)
+
+val node_at_left : t -> int -> int
+(** Inverse of [pi_left]. *)
+
+val node_at_right : t -> int -> int
+
+val is_ancestor : t -> anc:int -> desc:int -> bool
+(** Reflexive ancestor test via DFS intervals. *)
+
+val in_subtree : t -> of_:int -> int -> bool
+
+val kth_ancestor : t -> int -> int -> int
+(** [kth_ancestor t v k]; [-1] when walking above the root. *)
+
+val lca : t -> int -> int -> int
+
+val path : t -> int -> int -> int list
+(** Vertices of the tree path between two nodes, endpoints included. *)
+
+val path_length : t -> int -> int -> int
+(** Number of edges on the tree path. *)
+
+val last_leaf_left : t -> int -> int
+(** The leaf of the subtree of [v] with the greatest LEFT position. *)
+
+val last_leaf_right : t -> int -> int
+
+val centroid : t -> int
+(** A vertex whose removal leaves components of size at most [n/2]. *)
+
+val reroot : ?root_first:int -> rot:Rotation.t -> t -> int -> t
+(** Same tree edges, new root (RE-ROOT-PROBLEM, Lemma 19). *)
+
+val edges : t -> (int * int) list
+val parent_array : t -> int array
+val pp : Format.formatter -> t -> unit

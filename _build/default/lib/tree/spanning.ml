@@ -1,0 +1,58 @@
+(* Spanning-tree constructors.
+
+   The separator algorithm works with an *arbitrary* spanning tree (that is
+   the point of Lemma 11: the tree may be Θ(n) deep).  We provide BFS trees
+   (shallow), DFS trees (deep) and random trees, so experiments can stress
+   both regimes.  These are the centralized counterparts of the Borůvka
+   simulation of Lemma 9; the CONGEST cost is charged separately. *)
+
+open Repro_util
+open Repro_graph
+
+let bfs g ~root = Algo.bfs_parents g root
+
+let dfs g ~root = Algo.dfs_parents g root
+
+(* Uniform-ish random spanning tree by randomized Kruskal: random edge order
+   + union-find.  Cheap and adequate for stress testing. *)
+let random g ~root ~seed =
+  let rng = Rng.create seed in
+  let es = Array.of_list (Graph.edges g) in
+  Rng.shuffle_in_place rng es;
+  let uf = Union_find.create (Graph.n g) in
+  let adj = Array.make (Graph.n g) [] in
+  Array.iter
+    (fun (u, v) ->
+      if Union_find.union uf u v then begin
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v)
+      end)
+    es;
+  let parent = Array.make (Graph.n g) (-2) in
+  parent.(root) <- -1;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if parent.(v) = -2 then begin
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  parent
+
+type kind = Bfs | Dfs | Random of int
+
+let make kind g ~root =
+  match kind with
+  | Bfs -> bfs g ~root
+  | Dfs -> dfs g ~root
+  | Random seed -> random g ~root ~seed
+
+let kind_name = function
+  | Bfs -> "bfs"
+  | Dfs -> "dfs"
+  | Random _ -> "random"

@@ -1,0 +1,14 @@
+(** Spanning-tree constructors (parent arrays; root gets [-1]).
+
+    The graph must be connected; unreachable vertices keep [-2]. *)
+
+open Repro_graph
+
+val bfs : Graph.t -> root:int -> int array
+val dfs : Graph.t -> root:int -> int array
+val random : Graph.t -> root:int -> seed:int -> int array
+
+type kind = Bfs | Dfs | Random of int
+
+val make : kind -> Graph.t -> root:int -> int array
+val kind_name : kind -> string

@@ -1,0 +1,71 @@
+(* Binary min-heap keyed by integer priorities. *)
+
+type 'a t = {
+  mutable keys : int array;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { keys = [||]; data = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.keys in
+  if t.len = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nkeys = Array.make ncap 0 in
+    let ndata = Array.make ncap x in
+    Array.blit t.keys 0 nkeys 0 t.len;
+    Array.blit t.data 0 ndata 0 t.len;
+    t.keys <- nkeys;
+    t.data <- ndata
+  end
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let d = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.keys.(p) > t.keys.(i) then begin
+      swap t p i;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < t.len && t.keys.(l) < t.keys.(i) then l else i in
+  let m = if r < t.len && t.keys.(r) < t.keys.(m) then r else m in
+  if m <> i then begin
+    swap t m i;
+    sift_down t m
+  end
+
+let push t key x =
+  grow t x;
+  t.keys.(t.len) <- key;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let key = t.keys.(0) and x = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.keys.(0) <- t.keys.(t.len);
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (key, x)
+  end

@@ -1,0 +1,13 @@
+(** Binary min-heap with integer keys. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+(** [push t key x] inserts [x] with priority [key]. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key element. *)

@@ -1,0 +1,75 @@
+(* Plain-text table rendering for the benchmark harness and examples. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ~title headers =
+  let headers = Array.of_list headers in
+  {
+    title;
+    headers;
+    aligns = Array.make (Array.length headers) Right;
+    rows = [];
+  }
+
+let set_align t i a = t.aligns.(i) <- a
+
+let add_row t cells =
+  let cells = Array.of_list cells in
+  if Array.length cells <> Array.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- cells :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row)
+    rows;
+  let buf = Buffer.create 256 in
+  let line ch =
+    for i = 0 to ncols - 1 do
+      Buffer.add_char buf '+';
+      Buffer.add_string buf (String.make (widths.(i) + 2) ch)
+    done;
+    Buffer.add_string buf "+\n"
+  in
+  let render_row ?(align_override = None) row =
+    Array.iteri
+      (fun i c ->
+        let a = match align_override with Some a -> a | None -> t.aligns.(i) in
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_char buf ' ')
+      row;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  line '-';
+  render_row ~align_override:(Some Left) t.headers;
+  line '=';
+  List.iter render_row rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+
+let fmt_int = string_of_int

@@ -1,0 +1,18 @@
+(** Plain-text tables for experiment output. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> string list -> t
+(** [create ~title headers] starts an empty table. Columns default to
+    right-aligned. *)
+
+val set_align : t -> int -> align -> unit
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit
+
+val fmt_float : ?digits:int -> float -> string
+val fmt_int : int -> string

@@ -1,0 +1,20 @@
+(** Disjoint-set forest (union by rank, path halving). *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [true] iff they were distinct. *)
+
+val same : t -> int -> int -> bool
+
+val component_size : t -> int -> int
+(** Size of the set containing the element. *)
+
+val components : t -> int
+(** Current number of disjoint sets. *)

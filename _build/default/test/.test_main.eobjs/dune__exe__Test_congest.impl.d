@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Algo Array Embedded Engine Fun Gen Graph Hashtbl Prim QCheck QCheck_alcotest Repro_congest Repro_embedding Repro_graph Repro_tree Repro_util Rounds

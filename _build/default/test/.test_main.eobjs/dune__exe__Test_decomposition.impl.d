@@ -1,0 +1,1 @@
+test/test_decomposition.ml: Alcotest Array Decomposition Embedded Gen Graph List Printf QCheck QCheck_alcotest Repro_core Repro_embedding Repro_graph

@@ -1,0 +1,1 @@
+test/test_dfs.ml: Alcotest Algo Array Dfs Embedded Gen Graph Join List Printf QCheck QCheck_alcotest Repro_congest Repro_core Repro_embedding Repro_graph Rounds

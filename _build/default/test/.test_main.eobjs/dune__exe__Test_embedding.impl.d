@@ -1,0 +1,1 @@
+test/test_embedding.ml: Alcotest Algo Array Embedded Gen Geometry Graph List QCheck QCheck_alcotest Repro_embedding Repro_graph Rotation

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Algo Array Graph List QCheck QCheck_alcotest Repro_graph Repro_util Rng

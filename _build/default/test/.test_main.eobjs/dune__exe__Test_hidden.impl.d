@@ -1,0 +1,1 @@
+test/test_hidden.ml: Alcotest Config Faces Gen Hidden List QCheck QCheck_alcotest Repro_core Repro_embedding Repro_tree Rooted Spanning Weights

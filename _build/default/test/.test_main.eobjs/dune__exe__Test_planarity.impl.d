@@ -1,0 +1,1 @@
+test/test_planarity.ml: Alcotest Array Embedded Fun Gen Graph List Planarity QCheck QCheck_alcotest Repro_core Repro_embedding Repro_graph Repro_util Rotation

@@ -1,0 +1,1 @@
+test/test_separator.ml: Alcotest Check Config Embedded Fmt Fun Gen List Printf QCheck QCheck_alcotest Repro_congest Repro_core Repro_embedding Repro_graph Repro_tree Rounds Separator Spanning

@@ -1,0 +1,1 @@
+test/test_svg.ml: Alcotest Array Embedded Filename Float Gen Graph Option Planarity QCheck QCheck_alcotest Repro_embedding Repro_graph Rotation String Svg Sys

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Algo Array Embedded Fun Gen Geometry Graph List QCheck QCheck_alcotest Repro_embedding Repro_graph Repro_tree Repro_util Rooted Rotation Spanning

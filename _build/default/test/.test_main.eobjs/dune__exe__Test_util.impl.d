@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen List Pqueue QCheck QCheck_alcotest Repro_util Rng Stats String Table Union_find

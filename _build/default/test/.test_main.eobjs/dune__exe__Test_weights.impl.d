@@ -1,0 +1,1 @@
+test/test_weights.ml: Alcotest Check Config Embedded Faces Gen Graph Hashtbl List Printf QCheck QCheck_alcotest Repro_core Repro_embedding Repro_graph Repro_tree Rooted Spanning Weights

@@ -1,0 +1,265 @@
+open Repro_graph
+open Repro_embedding
+open Repro_congest
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_bfs_tree_grid () =
+  let emb = Gen.grid ~rows:5 ~cols:6 in
+  let g = Embedded.graph emb in
+  let (parent, dist), stats = Prim.bfs_tree g ~root:0 in
+  let expected = Algo.bfs_dist g 0 in
+  Alcotest.(check (array int)) "distances" expected dist;
+  Alcotest.(check int) "root parent" (-1) parent.(0);
+  for v = 1 to Graph.n g - 1 do
+    Alcotest.(check bool) "parent edge" true (Graph.mem_edge g v parent.(v));
+    Alcotest.(check int) "parent one closer" (dist.(v) - 1) dist.(parent.(v))
+  done;
+  (* Flooding finishes within eccentricity + O(1) rounds. *)
+  let ecc = Algo.eccentricity g 0 in
+  Alcotest.(check bool) "rounds near ecc" true (stats.Engine.rounds <= ecc + 2)
+
+let test_bfs_single_node () =
+  let g = Graph.of_edges ~n:1 [] in
+  let (parent, dist), stats = Prim.bfs_tree g ~root:0 in
+  Alcotest.(check int) "parent" (-1) parent.(0);
+  Alcotest.(check int) "dist" 0 dist.(0);
+  Alcotest.(check int) "zero rounds" 0 stats.Engine.rounds
+
+let test_subtree_sums () =
+  let emb = Gen.grid ~rows:4 ~cols:4 in
+  let g = Embedded.graph emb in
+  let (parent, _), _ = Prim.bfs_tree g ~root:0 in
+  let values = Array.make 16 1 in
+  let sums, _ = Prim.subtree_agg g ~parent ~op:Prim.Sum ~values in
+  Alcotest.(check int) "root sum = n" 16 sums.(0);
+  (* Compare against centralized subtree sizes. *)
+  let t = Repro_tree.Rooted.build ~rot:(Embedded.rot emb) ~root:0 parent in
+  for v = 0 to 15 do
+    Alcotest.(check int) "subtree size" (Repro_tree.Rooted.size t v) sums.(v)
+  done
+
+let test_subtree_max () =
+  let emb = Gen.path 6 in
+  let g = Embedded.graph emb in
+  let parent = [| -1; 0; 1; 2; 3; 4 |] in
+  let values = [| 3; 9; 2; 7; 1; 5 |] in
+  let maxs, _ = Prim.subtree_agg g ~parent ~op:Prim.Max ~values in
+  Alcotest.(check int) "root max" 9 maxs.(0);
+  Alcotest.(check int) "mid max" 7 maxs.(2);
+  Alcotest.(check int) "leaf max" 5 maxs.(5)
+
+let test_ancestor_sum () =
+  (* Path rooted at one end: node k's ancestor-sum is the prefix sum. *)
+  let emb = Gen.path 7 in
+  let g = Embedded.graph emb in
+  let parent = [| -1; 0; 1; 2; 3; 4; 5 |] in
+  let values = [| 1; 2; 3; 4; 5; 6; 7 |] in
+  let sums, _ = Prim.ancestor_agg g ~parent ~op:Prim.Sum ~values in
+  Alcotest.(check (array int)) "prefix sums" [| 1; 3; 6; 10; 15; 21; 28 |] sums
+
+let test_ancestor_min_matches_naive () =
+  let emb = Gen.stacked_triangulation ~seed:6 ~n:50 () in
+  let g = Embedded.graph emb in
+  let (parent, _), _ = Prim.bfs_tree g ~root:0 in
+  let rng = Repro_util.Rng.create 8 in
+  let values = Array.init 50 (fun _ -> Repro_util.Rng.int rng 1000) in
+  let mins, _ = Prim.ancestor_agg g ~parent ~op:Prim.Min ~values in
+  for v = 0 to 49 do
+    let rec naive x = if x < 0 then max_int else min values.(x) (naive parent.(x)) in
+    Alcotest.(check int) "ancestor min" (naive v) mins.(v)
+  done
+
+let test_broadcast () =
+  let emb = Gen.grid ~rows:3 ~cols:5 in
+  let g = Embedded.graph emb in
+  let (parent, _), _ = Prim.bfs_tree g ~root:7 in
+  let values, stats = Prim.broadcast g ~parent ~root:7 ~value:12345 in
+  Array.iter (fun v -> Alcotest.(check int) "value received" 12345 v) values;
+  Alcotest.(check bool) "rounds bounded by depth+2" true
+    (stats.Engine.rounds <= Algo.eccentricity g 7 + 3)
+
+let test_partwise_sum () =
+  let emb = Gen.grid ~rows:4 ~cols:6 in
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  let (parent, _), _ = Prim.bfs_tree g ~root:0 in
+  (* Parts = columns of the grid (connected vertical strips). *)
+  let parts = Array.init n (fun v -> v mod 6) in
+  let values = Array.init n (fun v -> v) in
+  let answers, stats = Prim.partwise g ~parent ~op:Prim.Sum ~parts ~values in
+  let expected = Array.make 6 0 in
+  for v = 0 to n - 1 do
+    expected.(parts.(v)) <- expected.(parts.(v)) + v
+  done;
+  for v = 0 to n - 1 do
+    Alcotest.(check int) "part sum" expected.(parts.(v)) answers.(v)
+  done;
+  (* O(depth + k): generous constant-factor check. *)
+  let bound = 4 * (Algo.eccentricity g 0 + 6 + 4) in
+  Alcotest.(check bool) "pipelined rounds" true (stats.Engine.rounds <= bound)
+
+let test_partwise_min_singletons () =
+  (* Every node its own part: answers are the nodes' own values. *)
+  let emb = Gen.cycle 12 in
+  let g = Embedded.graph emb in
+  let (parent, _), _ = Prim.bfs_tree g ~root:0 in
+  let parts = Array.init 12 Fun.id in
+  let values = Array.init 12 (fun v -> 100 - v) in
+  let answers, _ = Prim.partwise g ~parent ~op:Prim.Min ~parts ~values in
+  Alcotest.(check (array int)) "own values" values answers
+
+let test_partwise_one_part () =
+  let emb = Gen.stacked_triangulation ~seed:3 ~n:40 () in
+  let g = Embedded.graph emb in
+  let (parent, _), _ = Prim.bfs_tree g ~root:0 in
+  let parts = Array.make 40 0 in
+  let values = Array.init 40 Fun.id in
+  let answers, _ = Prim.partwise g ~parent ~op:Prim.Max ~parts ~values in
+  Array.iter (fun a -> Alcotest.(check int) "global max" 39 a) answers
+
+let test_bandwidth_enforced () =
+  (* A message bigger than the bandwidth must be rejected. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1) ] in
+  let module Big = struct
+    type input = unit
+    type state = bool
+    type msg = unit
+    type output = unit
+
+    let msg_bits () = 10_000
+    let init ~n:_ ~id ~neighbors:_ () =
+      if id = 0 then (true, [ (1, ()) ]) else (true, [])
+    let step ~round:_ ~id:_ st ~inbox:_ = (st, [])
+    let finished st = st
+    let output _ = ()
+  end in
+  let module E = Engine.Make (Big) in
+  Alcotest.check_raises "bandwidth"
+    (Engine.Bandwidth_exceeded { src = 0; dst = 1; bits = 10_000; limit = 32 })
+    (fun () -> ignore (E.run ~bandwidth:32 g ~input:[| (); () |]))
+
+let test_nonedge_rejected () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  let module Bad = struct
+    type input = unit
+    type state = bool
+    type msg = unit
+    type output = unit
+
+    let msg_bits () = 1
+    let init ~n:_ ~id ~neighbors:_ () =
+      if id = 0 then (true, [ (2, ()) ]) else (true, [])
+    let step ~round:_ ~id:_ st ~inbox:_ = (st, [])
+    let finished st = st
+    let output _ = ()
+  end in
+  let module E = Engine.Make (Bad) in
+  Alcotest.check_raises "non-edge"
+    (Invalid_argument "Engine: message along a non-edge") (fun () ->
+      ignore (E.run g ~input:[| (); (); () |]))
+
+let test_nontermination_detected () =
+  (* A chatterbox protocol that never finishes must hit the round cap. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1) ] in
+  let module Forever = struct
+    type input = unit
+    type state = unit
+    type msg = unit
+    type output = unit
+
+    let msg_bits () = 1
+    let init ~n:_ ~id:_ ~neighbors:_ () = ((), [])
+    let step ~round:_ ~id st ~inbox:_ = (st, [ ((id + 1) mod 2, ()) ])
+    let finished _ = false
+    let output _ = ()
+  end in
+  let module E = Engine.Make (Forever) in
+  Alcotest.check_raises "cap" (Engine.Did_not_terminate { max_rounds = 50 })
+    (fun () -> ignore (E.run ~max_rounds:50 g ~input:[| (); () |]))
+
+let test_duplicate_message_rejected () =
+  (* Two messages on the same edge in one round violate the model. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1) ] in
+  let module Dup = struct
+    type input = unit
+    type state = bool
+    type msg = unit
+    type output = unit
+
+    let msg_bits () = 1
+    let init ~n:_ ~id ~neighbors:_ () =
+      if id = 0 then (true, [ (1, ()); (1, ()) ]) else (true, [])
+    let step ~round:_ ~id:_ st ~inbox:_ = (st, [])
+    let finished st = st
+    let output _ = ()
+  end in
+  let module E = Engine.Make (Dup) in
+  Alcotest.check_raises "duplicate" (Engine.Duplicate_message { src = 0; dst = 1 })
+    (fun () -> ignore (E.run g ~input:[| (); () |]))
+
+let test_rounds_accountant () =
+  let r = Rounds.create ~n:1024 ~d:10 () in
+  Alcotest.(check (float 1e-9)) "pa cost" (10.0 *. 100.0) (Rounds.pa_cost r);
+  Rounds.charge_pa r ~label:"x";
+  Rounds.charge_pa r ~label:"x" ~units:2;
+  Alcotest.(check (float 1e-9)) "total" (3.0 *. 1000.0) (Rounds.total r);
+  match Rounds.breakdown r with
+  | [ ("x", rounds, calls) ] ->
+    Alcotest.(check (float 1e-9)) "breakdown rounds" 3000.0 rounds;
+    Alcotest.(check int) "breakdown calls" 2 calls
+  | _ -> Alcotest.fail "unexpected breakdown"
+
+let test_rounds_subroutine_charges () =
+  let r = Rounds.create ~n:256 ~d:5 () in
+  Rounds.charge_dfs_order r;
+  (* log2 256 = 8 phases, each one PA = 5 * 64 rounds. *)
+  Alcotest.(check (float 1e-9)) "dfs-order" (8.0 *. 320.0) (Rounds.total r)
+
+let prop_partwise_matches_reference =
+  QCheck.Test.make ~name:"partwise aggregation matches reference" ~count:30
+    QCheck.(triple (int_range 2 60) (int_range 1 10) (int_bound 1000))
+    (fun (n, nparts, seed) ->
+      let emb = Gen.stacked_triangulation ~seed ~n:(max 4 n) () in
+      let g = Embedded.graph emb in
+      let n = Graph.n g in
+      let rng = Repro_util.Rng.create seed in
+      let (parent, _), _ = Prim.bfs_tree g ~root:0 in
+      let parts = Array.init n (fun _ -> Repro_util.Rng.int rng nparts) in
+      let values = Array.init n (fun _ -> Repro_util.Rng.int rng 1000) in
+      let answers, _ = Prim.partwise g ~parent ~op:Prim.Min ~parts ~values in
+      let expected = Hashtbl.create 8 in
+      Array.iteri
+        (fun v p ->
+          let cur = Hashtbl.find_opt expected p in
+          Hashtbl.replace expected p
+            (match cur with None -> values.(v) | Some x -> min x values.(v)))
+        parts;
+      Array.for_all Fun.id
+        (Array.mapi (fun v a -> a = Hashtbl.find expected parts.(v)) answers))
+
+let suites =
+  [
+    ( "congest",
+      [
+        Alcotest.test_case "bfs tree grid" `Quick test_bfs_tree_grid;
+        Alcotest.test_case "bfs single node" `Quick test_bfs_single_node;
+        Alcotest.test_case "subtree sums" `Quick test_subtree_sums;
+        Alcotest.test_case "subtree max" `Quick test_subtree_max;
+        Alcotest.test_case "ancestor sum" `Quick test_ancestor_sum;
+        Alcotest.test_case "ancestor min" `Quick test_ancestor_min_matches_naive;
+        Alcotest.test_case "broadcast" `Quick test_broadcast;
+        Alcotest.test_case "partwise sum" `Quick test_partwise_sum;
+        Alcotest.test_case "partwise singletons" `Quick test_partwise_min_singletons;
+        Alcotest.test_case "partwise one part" `Quick test_partwise_one_part;
+        Alcotest.test_case "bandwidth enforced" `Quick test_bandwidth_enforced;
+        Alcotest.test_case "non-edge rejected" `Quick test_nonedge_rejected;
+        Alcotest.test_case "non-termination detected" `Quick
+          test_nontermination_detected;
+        Alcotest.test_case "duplicate message rejected" `Quick
+          test_duplicate_message_rejected;
+        Alcotest.test_case "rounds accountant" `Quick test_rounds_accountant;
+        Alcotest.test_case "subroutine charges" `Quick test_rounds_subroutine_charges;
+        qtest prop_partwise_matches_reference;
+      ] );
+  ]

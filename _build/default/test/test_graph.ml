@@ -1,0 +1,153 @@
+open Repro_util
+open Repro_graph
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Small named graphs used across the suite. *)
+let triangle = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ]
+let path5 = Graph.of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+
+let k4 =
+  Graph.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+
+(* Random connected graph generator for property tests. *)
+let random_connected ~seed ~n ~extra =
+  let rng = Rng.create seed in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, Rng.int rng v) :: !edges
+  done;
+  for _ = 1 to extra do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let test_build_dedup () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 0); (1, 2) ] in
+  Alcotest.(check int) "m dedups" 2 (Graph.m g);
+  Alcotest.(check int) "deg 1" 2 (Graph.degree g 1)
+
+let test_build_rejects_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self loop")
+    (fun () -> ignore (Graph.of_edges ~n:2 [ (1, 1) ]))
+
+let test_build_rejects_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Graph.of_edges: vertex out of range") (fun () ->
+      ignore (Graph.of_edges ~n:2 [ (0, 2) ]))
+
+let test_mem_edge () =
+  Alcotest.(check bool) "in" true (Graph.mem_edge triangle 0 2);
+  Alcotest.(check bool) "sym" true (Graph.mem_edge triangle 2 0);
+  Alcotest.(check bool) "out" false (Graph.mem_edge path5 0 2);
+  Alcotest.(check bool) "self" false (Graph.mem_edge triangle 1 1)
+
+let test_edges_list () =
+  let es = Graph.edges triangle |> List.sort compare in
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (0, 2); (1, 2) ] es
+
+let test_induced () =
+  let keep = [| true; false; true; true |] in
+  let sub, old2new, new2old = Graph.induced k4 keep in
+  Alcotest.(check int) "n" 3 (Graph.n sub);
+  Alcotest.(check int) "m" 3 (Graph.m sub);
+  Alcotest.(check int) "map drop" (-1) old2new.(1);
+  Alcotest.(check int) "roundtrip" 2 old2new.(new2old.(2))
+
+let test_bfs_dist () =
+  let d = Algo.bfs_dist path5 0 in
+  Alcotest.(check (array int)) "dists" [| 0; 1; 2; 3; 4 |] d
+
+let test_bfs_parents_tree () =
+  let p = Algo.bfs_parents path5 2 in
+  Alcotest.(check int) "root" (-1) p.(2);
+  Alcotest.(check int) "left" 2 p.(1);
+  Alcotest.(check int) "right" 2 p.(3)
+
+let test_components () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (2, 3) ] in
+  let _, k = Algo.components g in
+  Alcotest.(check int) "three comps" 3 k;
+  Alcotest.(check bool) "not connected" false (Algo.is_connected g);
+  Alcotest.(check bool) "path connected" true (Algo.is_connected path5)
+
+let test_diameter () =
+  Alcotest.(check int) "path" 4 (Algo.diameter_exact path5);
+  Alcotest.(check int) "triangle" 1 (Algo.diameter_exact triangle);
+  Alcotest.(check int) "two-sweep path" 4 (Algo.diameter_two_sweep path5)
+
+let test_dfs_parents () =
+  let p = Algo.dfs_parents k4 0 in
+  Alcotest.(check int) "root" (-1) p.(0);
+  Alcotest.(check bool) "dfs tree" true (Algo.is_dfs_tree k4 ~root:0 ~parent:p)
+
+let test_is_dfs_tree_rejects_bfs_on_cycle () =
+  (* On C4, the BFS tree from 0 has a non-tree edge between two branches:
+     not a DFS tree. *)
+  let c4 = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let bfs = Algo.bfs_parents c4 0 in
+  let dfs = Algo.dfs_parents c4 0 in
+  Alcotest.(check bool) "bfs rejected" false (Algo.is_dfs_tree c4 ~root:0 ~parent:bfs);
+  Alcotest.(check bool) "dfs accepted" true (Algo.is_dfs_tree c4 ~root:0 ~parent:dfs)
+
+let test_is_dfs_tree_rejects_garbage () =
+  let bad = [| -1; 0; 0; 5 |] in
+  Alcotest.(check bool) "garbage parent" false
+    (Algo.is_dfs_tree k4 ~root:0 ~parent:bad)
+
+let prop_dfs_tree_valid =
+  QCheck.Test.make ~name:"centralized DFS always yields a DFS tree" ~count:100
+    QCheck.(pair (int_range 2 60) (int_bound 1000))
+    (fun (n, seed) ->
+      let g = random_connected ~seed ~n ~extra:(n / 2) in
+      let p = Algo.dfs_parents g 0 in
+      Algo.is_dfs_tree g ~root:0 ~parent:p)
+
+let prop_bfs_dist_triangle_ineq =
+  QCheck.Test.make ~name:"bfs distances are 1-Lipschitz along edges" ~count:100
+    QCheck.(pair (int_range 2 60) (int_bound 1000))
+    (fun (n, seed) ->
+      let g = random_connected ~seed ~n ~extra:n in
+      let d = Algo.bfs_dist g 0 in
+      let ok = ref true in
+      Graph.iter_edges g (fun u v -> if abs (d.(u) - d.(v)) > 1 then ok := false);
+      !ok)
+
+let prop_component_sizes_sum =
+  QCheck.Test.make ~name:"component sizes sum to n" ~count:100
+    QCheck.(pair (int_range 1 50) (int_bound 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let edges = ref [] in
+      for _ = 1 to n do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v then edges := (u, v) :: !edges
+      done;
+      let g = Graph.of_edges ~n !edges in
+      Array.fold_left ( + ) 0 (Algo.component_sizes g) = n)
+
+let suites =
+  [
+    ( "graph",
+      [
+        Alcotest.test_case "dedup" `Quick test_build_dedup;
+        Alcotest.test_case "reject loop" `Quick test_build_rejects_loop;
+        Alcotest.test_case "reject range" `Quick test_build_rejects_range;
+        Alcotest.test_case "mem_edge" `Quick test_mem_edge;
+        Alcotest.test_case "edges list" `Quick test_edges_list;
+        Alcotest.test_case "induced" `Quick test_induced;
+        Alcotest.test_case "bfs dist" `Quick test_bfs_dist;
+        Alcotest.test_case "bfs parents" `Quick test_bfs_parents_tree;
+        Alcotest.test_case "components" `Quick test_components;
+        Alcotest.test_case "diameter" `Quick test_diameter;
+        Alcotest.test_case "dfs parents" `Quick test_dfs_parents;
+        Alcotest.test_case "is_dfs_tree rejects bfs" `Quick
+          test_is_dfs_tree_rejects_bfs_on_cycle;
+        Alcotest.test_case "is_dfs_tree rejects garbage" `Quick
+          test_is_dfs_tree_rejects_garbage;
+        qtest prop_dfs_tree_valid;
+        qtest prop_bfs_dist_triangle_ineq;
+        qtest prop_component_sizes_sum;
+      ] );
+  ]

@@ -1,0 +1,9 @@
+(* Aggregated alcotest entry point: one section per library. *)
+
+let () =
+  Alcotest.run "repro"
+    (Test_util.suites @ Test_graph.suites @ Test_embedding.suites
+   @ Test_planarity.suites @ Test_svg.suites @ Test_tree.suites @ Test_congest.suites @ Test_faces.suites
+   @ Test_weights.suites @ Test_hidden.suites @ Test_separator.suites
+   @ Test_dfs.suites @ Test_decomposition.suites @ Test_composed.suites
+   @ Test_baseline.suites)

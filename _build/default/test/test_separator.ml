@@ -1,0 +1,219 @@
+open Repro_embedding
+open Repro_tree
+open Repro_congest
+open Repro_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let find_on ?rounds emb spanning =
+  let cfg = Config.of_embedded ~spanning emb in
+  (cfg, Separator.find ?rounds cfg)
+
+let assert_valid name (cfg, r) =
+  let verdict = Check.check_separator cfg r.Separator.separator in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s valid (%s): %s" name r.Separator.phase
+       (Fmt.str "%a" Check.pp_verdict verdict))
+    true verdict.Check.valid
+
+let test_grid_families () =
+  List.iter
+    (fun emb ->
+      List.iter
+        (fun sp -> assert_valid (Embedded.name emb) (find_on emb sp))
+        [ Spanning.Bfs; Spanning.Dfs; Spanning.Random 5 ])
+    [
+      Gen.grid ~rows:7 ~cols:7;
+      Gen.grid_diag ~seed:3 ~rows:6 ~cols:6 ();
+      Gen.stacked_triangulation ~seed:2 ~n:90 ();
+      Gen.wheel 30;
+      Gen.fan 25;
+      Gen.cycle 33;
+    ]
+
+let test_tree_inputs () =
+  (* Trees exercise Phase 2, including the star (centroid deviation). *)
+  List.iter
+    (fun emb -> assert_valid (Embedded.name emb) (find_on emb Spanning.Bfs))
+    [
+      Gen.star 40;
+      Gen.path 50;
+      Gen.random_tree ~seed:8 ~n:60 ();
+      Gen.caterpillar ~spine:10 ~legs:5;
+    ]
+
+let test_star_phase_is_tree () =
+  let _, r = find_on (Gen.star 40) Spanning.Bfs in
+  Alcotest.(check string) "phase" "2-tree" r.Separator.phase
+
+let test_trivial_small () =
+  List.iter
+    (fun n ->
+      let emb = Gen.path n in
+      let cfg, r = find_on emb Spanning.Bfs in
+      Alcotest.(check bool) "valid" true
+        (Check.check_separator cfg r.Separator.separator).Check.valid)
+    [ 1; 2; 3 ]
+
+let test_separator_is_tree_path () =
+  let cfg, r = find_on (Gen.grid_diag ~seed:9 ~rows:8 ~cols:8 ()) Spanning.Dfs in
+  Alcotest.(check bool) "tree path" true
+    (Check.is_tree_path (Config.tree cfg) r.Separator.separator)
+
+let test_rounds_charged () =
+  let emb = Gen.grid_diag ~seed:4 ~rows:8 ~cols:8 () in
+  let g = Embedded.graph emb in
+  let d = Repro_graph.Algo.diameter g in
+  let rounds = Rounds.create ~n:(Repro_graph.Graph.n g) ~d () in
+  let _ = find_on ~rounds emb Spanning.Bfs in
+  Alcotest.(check bool) "positive rounds" true (Rounds.total rounds > 0.0);
+  Alcotest.(check bool) "has dfs-order charge" true
+    (List.exists (fun (l, _, _) -> l = "dfs-order[Lem11]") (Rounds.breakdown rounds))
+
+let test_partition_version () =
+  (* Theorem 1's partition interface: grid split into vertical strips. *)
+  let emb = Gen.grid ~rows:6 ~cols:12 in
+  let parts =
+    List.init 4 (fun b ->
+        List.concat_map
+          (fun r -> List.init 3 (fun c -> (r * 12) + (3 * b) + c))
+          (List.init 6 Fun.id))
+  in
+  let rounds = Rounds.create ~n:72 ~d:16 () in
+  let results = Separator.find_partition ~rounds emb ~parts in
+  Alcotest.(check int) "4 parts" 4 (List.length results);
+  List.iter
+    (fun (cfg, r) ->
+      Alcotest.(check bool) "part separator valid" true
+        (Check.check_separator cfg r.Separator.separator).Check.valid)
+    results;
+  Alcotest.(check bool) "charged once (max), not 4x" true
+    (Rounds.total rounds > 0.0)
+
+let test_singleton_parts () =
+  let emb = Gen.grid ~rows:2 ~cols:3 in
+  let parts = List.init 6 (fun v -> [ v ]) in
+  let results = Separator.find_partition emb ~parts in
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check int) "singleton separator" 1 (List.length r.Separator.separator))
+    results
+
+let test_shrink_balanced_and_smaller () =
+  List.iter
+    (fun emb ->
+      let cfg = Config.of_embedded emb in
+      let r = Separator.find cfg in
+      let s = Separator.shrink cfg r.Separator.separator in
+      Alcotest.(check bool) (Embedded.name emb ^ " still balanced") true
+        (Check.balanced cfg s);
+      Alcotest.(check bool) "not larger" true
+        (List.length s <= List.length r.Separator.separator);
+      Alcotest.(check bool) "non-empty" true (s <> []))
+    [
+      Gen.cycle 90;
+      Gen.grid ~rows:9 ~cols:9;
+      Gen.grid_diag ~seed:3 ~rows:8 ~cols:8 ();
+      Gen.path 50;
+      Gen.star 30;
+    ]
+
+let test_shrink_cycle_recovers_third () =
+  (* On a cycle the untrimmed separator is the whole path; trimming must
+     recover roughly n/3. *)
+  let emb = Gen.cycle 99 in
+  let cfg = Config.of_embedded emb in
+  let r = Separator.find cfg in
+  let s = Separator.shrink cfg r.Separator.separator in
+  Alcotest.(check bool)
+    (Printf.sprintf "trimmed to %d ~ n/3" (List.length s))
+    true
+    (List.length s <= 35)
+
+let test_shrink_singleton_stable () =
+  let emb = Gen.star 20 in
+  let cfg = Config.of_embedded emb in
+  (* The hub alone is balanced. *)
+  let s = Separator.shrink cfg [ 0 ] in
+  Alcotest.(check (list int)) "unchanged" [ 0 ] s
+
+let prop_certified_closing_edges =
+  (* Whenever a closing edge is reported, the full cycle-separator
+     definition holds: the edge is real or planarly insertable. *)
+  QCheck.Test.make ~name:"reported closing edges are certifiable" ~count:60
+    QCheck.(
+      triple (int_range 0 6) (pair (int_range 6 200) (int_bound 100000))
+        (int_range 0 2))
+    (fun (which, (n, seed), spi) ->
+      let family = List.nth Gen.family_names which in
+      let emb = Gen.by_family ~seed family ~n in
+      let spanning =
+        match spi with 0 -> Spanning.Bfs | 1 -> Spanning.Dfs | _ -> Spanning.Random seed
+      in
+      let cfg = Config.of_embedded ~spanning emb in
+      let r = Separator.find cfg in
+      match r.Separator.endpoints with
+      | None -> true
+      | Some endpoints -> Check.cycle_closable cfg ~endpoints)
+
+let prop_shrink_preserves_balance =
+  QCheck.Test.make ~name:"shrink keeps balance, never grows" ~count:50
+    QCheck.(pair (int_range 6 150) (int_bound 10000))
+    (fun (n, seed) ->
+      let emb = Gen.stacked_triangulation ~seed ~n () in
+      let cfg = Config.of_embedded ~spanning:(Spanning.Random seed) emb in
+      let r = Separator.find cfg in
+      let s = Separator.shrink cfg r.Separator.separator in
+      Check.balanced cfg s
+      && List.length s <= List.length r.Separator.separator
+      && s <> [])
+
+let prop_separator_always_valid =
+  QCheck.Test.make ~name:"separator valid on all families/trees/sizes" ~count:120
+    QCheck.(
+      triple (int_range 0 6) (pair (int_range 4 250) (int_bound 100000))
+        (int_range 0 2))
+    (fun (which, (n, seed), spi) ->
+      let family = List.nth Gen.family_names which in
+      let emb = Gen.by_family ~seed family ~n in
+      let spanning =
+        match spi with 0 -> Spanning.Bfs | 1 -> Spanning.Dfs | _ -> Spanning.Random seed
+      in
+      let cfg = Config.of_embedded ~spanning emb in
+      let r = Separator.find cfg in
+      (Check.check_separator cfg r.Separator.separator).Check.valid)
+
+let prop_phase3_weight_in_range_never_fails =
+  (* When phase 3 fires, the very first candidate works (Lemma 5): at most
+     one candidate tried. *)
+  QCheck.Test.make ~name:"phase-3 separators need one candidate" ~count:60
+    QCheck.(pair (int_range 10 150) (int_bound 100000))
+    (fun (n, seed) ->
+      let emb = Gen.stacked_triangulation ~seed ~n () in
+      let cfg = Config.of_embedded ~spanning:(Spanning.Random seed) emb in
+      let r = Separator.find cfg in
+      if r.Separator.phase = "3-face" then r.Separator.candidates_tried = 1 else true)
+
+let suites =
+  [
+    ( "separator",
+      [
+        Alcotest.test_case "planar families" `Quick test_grid_families;
+        Alcotest.test_case "tree inputs" `Quick test_tree_inputs;
+        Alcotest.test_case "star uses tree phase" `Quick test_star_phase_is_tree;
+        Alcotest.test_case "trivial sizes" `Quick test_trivial_small;
+        Alcotest.test_case "output is a tree path" `Quick test_separator_is_tree_path;
+        Alcotest.test_case "rounds charged" `Quick test_rounds_charged;
+        Alcotest.test_case "partition interface" `Quick test_partition_version;
+        Alcotest.test_case "singleton parts" `Quick test_singleton_parts;
+        Alcotest.test_case "shrink balanced/smaller" `Quick
+          test_shrink_balanced_and_smaller;
+        Alcotest.test_case "shrink cycle to n/3" `Quick
+          test_shrink_cycle_recovers_third;
+        Alcotest.test_case "shrink singleton" `Quick test_shrink_singleton_stable;
+        qtest prop_certified_closing_edges;
+        qtest prop_shrink_preserves_balance;
+        qtest prop_separator_always_valid;
+        qtest prop_phase3_weight_in_range_never_fails;
+      ] );
+  ]

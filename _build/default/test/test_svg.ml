@@ -1,0 +1,81 @@
+open Repro_graph
+open Repro_embedding
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let count_sub s sub =
+  let n = String.length s and k = String.length sub in
+  let c = ref 0 in
+  for i = 0 to n - k do
+    if String.sub s i k = sub then incr c
+  done;
+  !c
+
+let test_render_grid () =
+  let emb = Gen.grid ~rows:4 ~cols:4 in
+  let doc = Svg.render emb in
+  Alcotest.(check bool) "is svg" true (count_sub doc "<svg" = 1);
+  Alcotest.(check int) "one circle per vertex" 16 (count_sub doc "<circle");
+  Alcotest.(check int) "one line per edge" (Graph.m (Embedded.graph emb))
+    (count_sub doc "<line")
+
+let test_highlight_and_closing () =
+  let emb = Gen.grid_diag ~seed:2 ~rows:5 ~cols:5 () in
+  let doc = Svg.render ~highlight:[ 0; 1; 2 ] ~closing:(0, 24) emb in
+  Alcotest.(check bool) "highlight color present" true
+    (count_sub doc Svg.default_style.highlight_color > 0);
+  Alcotest.(check bool) "dashed closing edge" true
+    (count_sub doc "stroke-dasharray" = 1)
+
+let test_tutte_layout_for_coordinate_free () =
+  (* A DMP embedding has no coordinates; the barycentric layout must place
+     all vertices at finite, non-coincident positions. *)
+  let emb0 = Gen.stacked_triangulation ~seed:5 ~n:40 () in
+  let g = Embedded.graph emb0 in
+  let rot = Option.get (Planarity.embed g) in
+  let emb = Embedded.make ~name:"dmp" g rot in
+  let coords = Svg.layout emb in
+  Array.iter
+    (fun (x, y) ->
+      Alcotest.(check bool) "finite" true (Float.is_finite x && Float.is_finite y))
+    coords;
+  let doc = Svg.render emb in
+  Alcotest.(check int) "all vertices drawn" 40 (count_sub doc "<circle")
+
+let test_empty_graph () =
+  let emb =
+    Embedded.make ~name:"empty" (Graph.of_edges ~n:0 [])
+      (Rotation.of_adjacency (Graph.of_edges ~n:0 []))
+  in
+  Alcotest.(check bool) "renders" true (count_sub (Svg.render emb) "<svg" = 1)
+
+let test_write_file () =
+  let path = Filename.temp_file "repro_svg" ".svg" in
+  Svg.write_file (Gen.cycle 8) ~path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 100)
+
+let prop_render_counts =
+  QCheck.Test.make ~name:"svg has one mark per vertex and edge" ~count:20
+    QCheck.(pair (int_range 4 60) (int_bound 10000))
+    (fun (n, seed) ->
+      let emb = Gen.stacked_triangulation ~seed ~n () in
+      let doc = Svg.render emb in
+      count_sub doc "<circle" = Graph.n (Embedded.graph emb)
+      && count_sub doc "<line" = Graph.m (Embedded.graph emb))
+
+let suites =
+  [
+    ( "svg",
+      [
+        Alcotest.test_case "grid render" `Quick test_render_grid;
+        Alcotest.test_case "highlight + closing" `Quick test_highlight_and_closing;
+        Alcotest.test_case "tutte layout" `Quick test_tutte_layout_for_coordinate_free;
+        Alcotest.test_case "empty graph" `Quick test_empty_graph;
+        Alcotest.test_case "write file" `Quick test_write_file;
+        qtest prop_render_counts;
+      ] );
+  ]

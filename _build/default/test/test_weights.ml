@@ -1,0 +1,146 @@
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+open Repro_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* The core experiment-E6 property: Definition 2 equals its proven meaning
+   (Lemmas 3/4), i.e. the exact count from the reference interior. *)
+let weights_exact emb spanning =
+  let cfg = Config.of_embedded ~spanning emb in
+  List.for_all
+    (fun (u, v) -> Weights.weight cfg ~u ~v = Weights.count_reference cfg ~u ~v)
+    (Config.fundamental_edges cfg)
+
+let test_weights_grid () =
+  List.iter
+    (fun sp ->
+      Alcotest.(check bool)
+        (Spanning.kind_name sp) true
+        (weights_exact (Gen.grid ~rows:6 ~cols:6) sp))
+    [ Spanning.Bfs; Spanning.Dfs; Spanning.Random 7 ]
+
+let test_weights_wheel_fan () =
+  List.iter
+    (fun emb ->
+      List.iter
+        (fun sp ->
+          Alcotest.(check bool)
+            (Embedded.name emb ^ "/" ^ Spanning.kind_name sp)
+            true (weights_exact emb sp))
+        [ Spanning.Bfs; Spanning.Dfs; Spanning.Random 3 ])
+    [ Gen.wheel 12; Gen.fan 11; Gen.cycle 9 ]
+
+let prop_weights_exact_everywhere =
+  QCheck.Test.make ~name:"Definition 2 = Lemma 3/4 count (E6)" ~count:80
+    QCheck.(triple (int_range 0 3) (int_range 8 80) (int_bound 100000))
+    (fun (which, n, seed) ->
+      let emb =
+        match which with
+        | 0 -> Gen.grid_diag ~seed ~rows:(max 2 (n / 6)) ~cols:6 ()
+        | 1 -> Gen.stacked_triangulation ~seed ~n ()
+        | 2 -> Gen.thin ~seed ~keep:0.6 (Gen.stacked_triangulation ~seed ~n ())
+        | _ -> Gen.grid ~rows:(max 2 (n / 7)) ~cols:7
+      in
+      let spanning =
+        match seed mod 3 with
+        | 0 -> Spanning.Bfs
+        | 1 -> Spanning.Dfs
+        | _ -> Spanning.Random seed
+      in
+      weights_exact emb spanning)
+
+(* ω bounds the interior size from above (what Lemma 5 uses). *)
+let prop_weight_bounds_interior =
+  QCheck.Test.make ~name:"interior <= weight <= interior + border" ~count:40
+    QCheck.(pair (int_range 8 50) (int_bound 10000))
+    (fun (n, seed) ->
+      let emb = Gen.stacked_triangulation ~seed ~n () in
+      let cfg = Config.of_embedded ~spanning:(Spanning.Random seed) emb in
+      List.for_all
+        (fun (u, v) ->
+          let w = Weights.weight cfg ~u ~v in
+          let interior = List.length (Faces.interior_reference cfg ~u ~v) in
+          let border = List.length (Faces.border cfg ~u ~v) in
+          interior <= w && w <= interior + border)
+        (Config.fundamental_edges cfg))
+
+(* Lemma 5 soundness: weight in range implies the border path is balanced. *)
+let prop_lemma5_soundness =
+  QCheck.Test.make ~name:"weight in [n/3,2n/3] => border path balanced" ~count:60
+    QCheck.(pair (int_range 8 120) (int_bound 100000))
+    (fun (n, seed) ->
+      let emb = Gen.stacked_triangulation ~seed ~n () in
+      let spanning =
+        match seed mod 3 with
+        | 0 -> Spanning.Bfs
+        | 1 -> Spanning.Dfs
+        | _ -> Spanning.Random seed
+      in
+      let cfg = Config.of_embedded ~spanning emb in
+      let tree = Config.tree cfg in
+      let nn = Config.n cfg in
+      List.for_all
+        (fun ((u, v), w) ->
+          if 3 * w >= nn && 3 * w <= 2 * nn then
+            Check.balanced cfg (Rooted.path tree u v)
+          else true)
+        (Weights.all_weights cfg))
+
+let test_outside_split_partition () =
+  let cfg =
+    Config.of_embedded ~spanning:Spanning.Bfs (Gen.grid_diag ~seed:3 ~rows:5 ~cols:5 ())
+  in
+  let g = Config.graph cfg in
+  List.iter
+    (fun (u, v) ->
+      let fl, fr = Weights.outside_split cfg ~u ~v in
+      let interior = Faces.interior_reference cfg ~u ~v in
+      let border = Faces.border cfg ~u ~v in
+      Alcotest.(check int) "F_l + F_r + face = n" (Graph.n g)
+        (List.length fl + List.length fr + List.length interior + List.length border);
+      (* Disjointness *)
+      let seen = Hashtbl.create 32 in
+      List.iter
+        (fun z ->
+          Alcotest.(check bool) "disjoint" false (Hashtbl.mem seen z);
+          Hashtbl.replace seen z ())
+        (fl @ fr @ interior @ border))
+    (Config.fundamental_edges cfg)
+
+let test_p_term_matches_subtree_count () =
+  let cfg =
+    Config.of_embedded ~spanning:Spanning.Dfs (Gen.stacked_triangulation ~seed:9 ~n:40 ())
+  in
+  let tree = Config.tree cfg in
+  List.iter
+    (fun (u, v) ->
+      let case = Faces.classify cfg ~u ~v in
+      let interior = Faces.interior_reference cfg ~u ~v in
+      let count_in_subtree x =
+        List.length
+          (List.filter (fun z -> Rooted.is_ancestor tree ~anc:x ~desc:z && z <> x) interior)
+      in
+      (* p_{F_e}(v) counts the strict-subtree members of the face at v. *)
+      Alcotest.(check int)
+        (Printf.sprintf "p(v) e=(%d,%d)" u v)
+        (count_in_subtree v)
+        (Weights.p_term cfg ~u ~v ~case v))
+    (Config.fundamental_edges cfg)
+
+let suites =
+  [
+    ( "weights",
+      [
+        Alcotest.test_case "exact on grids" `Quick test_weights_grid;
+        Alcotest.test_case "exact on wheel/fan/cycle" `Quick test_weights_wheel_fan;
+        Alcotest.test_case "outside split partitions" `Quick
+          test_outside_split_partition;
+        Alcotest.test_case "p-term = subtree count" `Quick
+          test_p_term_matches_subtree_count;
+        qtest prop_weights_exact_everywhere;
+        qtest prop_weight_bounds_interior;
+        qtest prop_lemma5_soundness;
+      ] );
+  ]
