@@ -20,6 +20,59 @@ let pf = Printf.printf
 let section title = pf "\n######## %s ########\n" title
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable recording: every table printed by an experiment is  *)
+(* also captured, and the whole run is dumped to BENCH_1.json.          *)
+(* ------------------------------------------------------------------ *)
+
+let current_exp = ref "-"
+let recorded : (string * Table.t) list ref = ref []
+
+let output t =
+  Table.print t;
+  recorded := (!current_exp, t) :: !recorded
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_list items = "[" ^ String.concat "," items ^ "]"
+
+let write_json ~path ~jobs ~timings =
+  let table_json t =
+    Printf.sprintf "{\"title\":%s,\"headers\":%s,\"rows\":%s}"
+      (json_str (Table.title t))
+      (json_list (List.map json_str (Table.headers t)))
+      (json_list
+         (List.map (fun r -> json_list (List.map json_str r)) (Table.rows t)))
+  in
+  let exp_json (name, wall) =
+    let tables =
+      List.rev !recorded
+      |> List.filter (fun (e, _) -> e = name)
+      |> List.map (fun (_, t) -> table_json t)
+    in
+    Printf.sprintf "{\"name\":%s,\"wall_seconds\":%.3f,\"tables\":%s}"
+      (json_str name) wall (json_list tables)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\"jobs\":%d,\"experiments\":%s}\n" jobs
+    (json_list (List.map exp_json timings));
+  close_out oc;
+  pf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* E1: separator validity and balance across all families.             *)
 (* ------------------------------------------------------------------ *)
 
@@ -72,7 +125,7 @@ let e1 () =
             ])
         [ 120; 480; 1920 ])
     Gen.family_names;
-  Table.print t
+  output t
 
 (* ------------------------------------------------------------------ *)
 (* E2/F1: separator rounds scale with D, not n.                        *)
@@ -126,7 +179,7 @@ let e2 () =
           Table.fmt_float ~digits:1 (total /. float_of_int n);
         ])
     diameter_suite;
-  Table.print t;
+  output t;
   pf "(the per-family constant is the number of subroutine invocations —\n";
   pf " a constant per phase; the D*log^2 n factor is the PA unit cost)\n"
 
@@ -149,7 +202,7 @@ let f1 () =
     (fun (d, r, name) ->
       Table.add_row t [ Table.fmt_int d; Table.fmt_float ~digits:0 r; name ])
     (List.sort compare !points);
-  Table.print t;
+  output t;
   let xs = Array.of_list (List.map (fun (d, _, _) -> float_of_int d) !points) in
   let ys = Array.of_list (List.map (fun (_, r, _) -> r) !points) in
   pf "log-log slope rounds~D: %.2f (expected ~1.0)\n" (Stats.loglog_slope ~x:xs ~y:ys)
@@ -195,7 +248,7 @@ let e3 () =
             ])
         [ 256; 1024; 4096 ])
     [ List.nth diameter_suite 0; List.nth diameter_suite 1 ];
-  Table.print t
+  output t
 
 (* ------------------------------------------------------------------ *)
 (* E4: deterministic vs randomized separator.                          *)
@@ -244,7 +297,7 @@ let e4 () =
           Table.fmt_float ~digits:0 (Rounds.total rr);
         ])
     [ 2; 8; 32; 128; 512; 2048 ];
-  Table.print t
+  output t
 
 (* ------------------------------------------------------------------ *)
 (* E5: ours (charged Õ(D)) vs Awerbuch (measured Θ(n)).                *)
@@ -304,7 +357,7 @@ let e5 () =
       let last_ratio = List.hd !yo /. List.hd !ya in
       slopes := (name, sa, so, last_ratio) :: !slopes)
     [ List.nth diameter_suite 0; List.nth diameter_suite 3 ];
-  Table.print t;
+  output t;
   List.iter
     (fun (name, sa, so, last_ratio) ->
       pf "%s: awerbuch slope(n)=%.2f  ours slope(n)=%.2f\n" name sa so;
@@ -360,7 +413,7 @@ let e6 () =
             ])
         [ Spanning.Bfs; Spanning.Dfs; Spanning.Random 17 ])
     [ "tgrid"; "stacked"; "thinned" ];
-  Table.print t
+  output t
 
 (* ------------------------------------------------------------------ *)
 (* E7: executed part-wise aggregation rounds.                          *)
@@ -400,7 +453,7 @@ let e7 () =
           Table.fmt_int stats.Engine.messages;
         ])
     [ 1; 4; 16; 64; 256 ];
-  Table.print t
+  output t
 
 (* ------------------------------------------------------------------ *)
 (* E8: augmentation vs full triangulation (ablation).                  *)
@@ -450,7 +503,7 @@ let e8 () =
       ("stacked-400", Gen.stacked_triangulation ~seed:3 ~n:400 (), Spanning.Dfs);
       ("tgrid-20x20", Gen.grid_diag ~seed:3 ~rows:20 ~cols:20 (), Spanning.Random 3);
     ];
-  Table.print t
+  output t
 
 (* ------------------------------------------------------------------ *)
 (* E9: JOIN halves the remaining separator.                            *)
@@ -472,7 +525,7 @@ let e9 () =
           let g = Embedded.graph emb in
           let root = Embedded.outer emb in
           let st = Join.create g ~root in
-          let all = List.init (Graph.n g) Fun.id in
+          let all = Array.init (Graph.n g) Fun.id in
           let joins = ref 0 and max_s = ref 0 and max_it = ref 0 in
           let worst_gap = ref neg_infinity in
           let continue_ = ref true in
@@ -485,7 +538,7 @@ let e9 () =
                   let part_root =
                     match Join.component_anchor st members with
                     | Some (v, _) -> v
-                    | None -> List.hd members
+                    | None -> members.(0)
                   in
                   let cfg = Config.of_part ~members ~root:part_root emb in
                   let r = Separator.find cfg in
@@ -513,7 +566,7 @@ let e9 () =
             ])
         [ 256; 1024 ])
     [ List.nth diameter_suite 0; List.nth diameter_suite 1; List.nth diameter_suite 3 ];
-  Table.print t
+  output t
 
 (* ------------------------------------------------------------------ *)
 (* E10: the executed Phase 1-3 pipeline (Lemmas 11, 12, 5 end to end).  *)
@@ -571,7 +624,7 @@ let e10 () =
             string_of_bool verdict.Check.valid;
           ])
     [ 64; 256; 1024 ];
-  Table.print t;
+  output t;
   pf "(rounds here use the tree-pipelined part-wise fallback, O(depth + k)\n";
   pf " per merge phase; the paper's shortcut black box would make it Õ(D))\n";
   (* The rest of the executed subroutine inventory, at one size. *)
@@ -664,9 +717,100 @@ let f2 () =
             ])
         [ 100; 400; 1600; 6400 ])
     [ List.nth diameter_suite 1; List.nth diameter_suite 2; List.nth diameter_suite 3 ];
-  Table.print t;
+  output t;
   pf "('after shrink' is the balanced-trim post-pass: a balanced tree-path\n";
   pf " separator that may forgo the closing edge; on cycles it recovers n/3)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11: domain-pool speedup, with bit-identical output checks.          *)
+(* ------------------------------------------------------------------ *)
+
+let e11 ~jobs () =
+  section "E11  Part-batch parallel speedup (domain pool)";
+  pf "expected: jobs=%d output bit-identical to jobs=1; speedup bounded by cores\n"
+    jobs;
+  pf "(this host: %d recommended domains)\n" (Domain.recommended_domain_count ());
+  let t =
+    Table.create ~title:(Printf.sprintf "E11 (jobs=1 vs jobs=%d)" jobs)
+      [
+        "workload"; "n"; "jobs=1 (s)"; Printf.sprintf "jobs=%d (s)" jobs;
+        "speedup"; "identical";
+      ]
+  in
+  Table.set_align t 0 Table.Left;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let case name n run equal =
+    (* Warm once so allocator/GC state is comparable, then time each mode. *)
+    ignore (Pool.with_pool ~jobs:1 run);
+    let r1, s1 = time (fun () -> Pool.with_pool ~jobs:1 run) in
+    let rn, sn = time (fun () -> Pool.with_pool ~jobs run) in
+    let same = equal r1 rn in
+    Table.add_row t
+      [
+        name;
+        Table.fmt_int n;
+        Table.fmt_float ~digits:3 s1;
+        Table.fmt_float ~digits:3 sn;
+        Table.fmt_float ~digits:2 (s1 /. sn);
+        string_of_bool same;
+      ];
+    assert same
+  in
+  List.iter
+    (fun (fname, gen) ->
+      let emb = gen 4096 1 in
+      let g = Embedded.graph emb in
+      let n = Graph.n g in
+      let root = Embedded.outer emb in
+      case
+        (Printf.sprintf "dfs/%s" fname)
+        n
+        (fun pool ->
+          let rounds = Rounds.create ~n ~d:(Algo.diameter g) () in
+          let r = Dfs.run ~rounds ~pool emb ~root in
+          (r, Rounds.total rounds))
+        (fun (r1, t1) (rn, tn) ->
+          r1.Dfs.parent = rn.Dfs.parent
+          && r1.Dfs.depth = rn.Dfs.depth
+          && r1.Dfs.phases = rn.Dfs.phases
+          && r1.Dfs.phase_log = rn.Dfs.phase_log
+          && r1.Dfs.separator_phases = rn.Dfs.separator_phases
+          && t1 = tn);
+      case
+        (Printf.sprintf "decomp/%s" fname)
+        n
+        (fun pool ->
+          let rounds = Rounds.create ~n ~d:(Algo.diameter g) () in
+          let d = Decomposition.build ~rounds ~pool ~piece_target:64 emb in
+          (d, Rounds.total rounds))
+        (fun (d1, t1) (dn, tn) ->
+          d1.Decomposition.pieces = dn.Decomposition.pieces
+          && d1.Decomposition.separator = dn.Decomposition.separator
+          && d1.Decomposition.levels = dn.Decomposition.levels
+          && t1 = tn);
+      (* Theorem 1 proper: separators for all parts of one partition.  The
+         pieces of a shallow decomposition are connected and node-disjoint,
+         so they make a valid partition of the non-separator residue. *)
+      let parts =
+        let d = Decomposition.build ~piece_target:256 emb in
+        List.filter (fun p -> List.length p > 3) d.Decomposition.pieces
+      in
+      case
+        (Printf.sprintf "seppart/%s (%d parts)" fname (List.length parts))
+        n
+        (fun pool ->
+          let rounds = Rounds.create ~n ~d:(Algo.diameter g) () in
+          let rs = Separator.find_partition ~rounds ~pool emb ~parts in
+          (List.map (fun (_, r) -> r.Separator.separator) rs, Rounds.total rounds))
+        ( = ))
+    [ List.nth diameter_suite 0; List.nth diameter_suite 1 ];
+  output t;
+  pf "(identical = parents/depths/pieces/phase logs and charged round totals\n";
+  pf " all equal between the two runs; speedup ~1.0 on single-core hosts)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
@@ -713,16 +857,35 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let only = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  (* usage: main [--jobs N] [experiment]        (experiment: e1..e11, f1, f2,
+     micro; default all) *)
+  let jobs = ref (Pool.default_jobs ()) in
+  let only = ref None in
+  let argc = Array.length Sys.argv in
+  let i = ref 1 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--jobs" when !i + 1 < argc ->
+      jobs := max 1 (int_of_string Sys.argv.(!i + 1));
+      incr i
+    | "--jobs" -> invalid_arg "--jobs needs an argument"
+    | name -> only := Some name);
+    incr i
+  done;
+  let timings = ref [] in
   let run name f =
-    match only with
+    match !only with
     | Some o when o <> name -> ()
     | _ ->
+      current_exp := name;
       let t0 = Sys.time () in
+      let w0 = Unix.gettimeofday () in
       f ();
+      timings := (name, Unix.gettimeofday () -. w0) :: !timings;
       pf "[%s done in %.1fs cpu]\n" name (Sys.time () -. t0)
   in
   pf "Deterministic Distributed DFS via Cycle Separators — experiment harness\n";
+  pf "(jobs = %d)\n" !jobs;
   run "e1" e1;
   run "e2" e2;
   run "f1" f1;
@@ -735,5 +898,7 @@ let () =
   run "e9" e9;
   run "e10" e10;
   run "f2" f2;
+  run "e11" (e11 ~jobs:!jobs);
   run "micro" micro;
+  write_json ~path:"BENCH_1.json" ~jobs:!jobs ~timings:(List.rev !timings);
   pf "\nAll experiments complete.\n"

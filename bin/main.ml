@@ -43,6 +43,17 @@ let spanning_of_string seed = function
   | "random" -> Spanning.Random seed
   | other -> invalid_arg ("unknown tree kind: " ^ other)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for part-parallel batches (default: the machine's \
+     recommended domain count, capped at 8).  Output is bit-identical for \
+     every value; 1 runs fully sequentially."
+  in
+  Arg.(
+    value
+    & opt int (Repro_util.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let edges_arg =
   let doc =
     "Load the graph from an edge-list file (one 'u v' pair per line; vertex \
@@ -180,12 +191,14 @@ let compare_arg =
   Arg.(value & flag & info [ "compare-awerbuch" ] ~doc)
 
 let dfs_cmd =
-  let run family n seed edges root compare_awerbuch =
+  let run family n seed edges root jobs compare_awerbuch =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
     let root = match root with Some r -> r | None -> Embedded.outer emb in
     let rounds = Rounds.create ~n:(Graph.n g) ~d () in
-    let r = Dfs.run ~rounds emb ~root in
+    let r =
+      Repro_util.Pool.with_pool ~jobs (fun pool -> Dfs.run ~rounds ~pool emb ~root)
+    in
     let ok = Dfs.verify emb ~root r in
     Printf.printf "\nDFS root           : %d\n" root;
     Printf.printf "phases             : %d\n" r.Dfs.phases;
@@ -204,7 +217,7 @@ let dfs_cmd =
   let term =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ root_arg
-      $ compare_arg)
+      $ jobs_arg $ compare_arg)
   in
   Cmd.v
     (Cmd.info "dfs" ~doc:"Compute a DFS tree with the deterministic Õ(D) algorithm")
@@ -227,18 +240,21 @@ let by_size_arg =
   Arg.(value & flag & info [ "by-size" ] ~doc)
 
 let bdd_cmd =
-  let run family n seed edges target piece by_size =
+  let run family n seed edges target piece by_size jobs =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
     let t, ok =
-      if by_size then begin
-        let t = Decomposition.build ~piece_target:piece emb in
-        (t, Decomposition.check emb ~piece_target:piece t)
-      end
-      else begin
-        let t = Decomposition.bounded_diameter ~diameter_target:target emb in
-        (t, Decomposition.check_bounded_diameter emb ~diameter_target:target t)
-      end
+      Repro_util.Pool.with_pool ~jobs (fun pool ->
+          if by_size then begin
+            let t = Decomposition.build ~pool ~piece_target:piece emb in
+            (t, Decomposition.check emb ~piece_target:piece t)
+          end
+          else begin
+            let t =
+              Decomposition.bounded_diameter ~pool ~diameter_target:target emb
+            in
+            (t, Decomposition.check_bounded_diameter emb ~diameter_target:target t)
+          end)
     in
     Printf.printf "\npieces            : %d\n" (List.length t.Decomposition.pieces);
     Printf.printf "recursion levels  : %d\n" t.Decomposition.levels;
@@ -252,7 +268,7 @@ let bdd_cmd =
   let term =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ target_arg
-      $ piece_arg $ by_size_arg)
+      $ piece_arg $ by_size_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "bdd"

@@ -91,6 +91,22 @@ let absorb t other =
       Hashtbl.replace t.breakdown label (prev_r +. r, prev_c + c))
     other.breakdown
 
+(* Charge a parallel batch: absorb only the heaviest per-part ledger
+   (concurrent parts cost the max, not the sum).  Ties resolve to the lowest
+   part index, so the result is independent of how the batch was
+   scheduled. *)
+let absorb_heaviest t locals =
+  let heaviest =
+    Array.fold_left
+      (fun acc l ->
+        match (l, acc) with
+        | None, _ -> acc
+        | Some _, None -> l
+        | Some l', Some best -> if total l' > total best then l else acc)
+      None locals
+  in
+  Option.iter (absorb t) heaviest
+
 let breakdown t =
   Hashtbl.fold (fun label (r, c) acc -> (label, r, c) :: acc) t.breakdown []
   |> List.sort (fun (_, r1, _) (_, r2, _) -> compare r2 r1)

@@ -48,6 +48,11 @@ val absorb : t -> t -> unit
 (** Merge the other accountant's charges into the first (e.g. the heaviest
     part of a batch executed in parallel). *)
 
+val absorb_heaviest : t -> t option array -> unit
+(** Absorb the heaviest of the per-part ledgers of a parallel batch (ties:
+    lowest index), i.e. charge the batch max-over-parts, deterministically
+    and independently of scheduling order. *)
+
 val breakdown : t -> (string * float * int) list
 (** [(label, rounds, invocations)], heaviest first. *)
 

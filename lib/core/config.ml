@@ -95,10 +95,13 @@ let induced_rotation rot g_sub ~new_of_old ~old_of_new =
   in
   Rotation.of_orders g_sub orders
 
+(* Hot path of every part-parallel batch: [members] is a plain int array
+   (components come out of [Algo.restricted_components] that way), and
+   membership is a bool array — no per-part lists or hash tables. *)
 let of_part ?(spanning = Spanning.Bfs) ~members ~root emb =
   let g = Embedded.graph emb in
   let keep = Array.make (Graph.n g) false in
-  List.iter (fun v -> keep.(v) <- true) members;
+  Array.iter (fun v -> keep.(v) <- true) members;
   if not keep.(root) then invalid_arg "Config.of_part: root not in part";
   let g_sub, new_of_old, old_of_new = Graph.induced g keep in
   let rot_sub =

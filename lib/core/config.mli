@@ -15,10 +15,11 @@ val of_embedded :
     inserted) defaults to the outward direction when coordinates exist. *)
 
 val of_part :
-  ?spanning:Spanning.kind -> members:int list -> root:int -> Embedded.t -> t
+  ?spanning:Spanning.kind -> members:int array -> root:int -> Embedded.t -> t
 (** Configuration for the subgraph induced by [members] (which must be
     connected); the embedding is inherited by restriction.  Vertices are
-    renumbered; map back with [to_global]. *)
+    renumbered; map back with [to_global].  Members are an array — the
+    representation the part-parallel batch runners traffic in. *)
 
 val of_parts :
   graph:Graph.t ->

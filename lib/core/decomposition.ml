@@ -5,7 +5,17 @@
    [piece_target] vertices.  Distinct pieces are never adjacent (every path
    between them crosses a removed separator node), so any per-piece solution
    of a "closed under non-adjacency" problem combines trivially; the classic
-   application, an approximate maximum independent set, is provided. *)
+   application, an approximate maximum independent set, is provided.
+
+   The recursion is executed level-synchronously: all parts of one recursion
+   level are node-disjoint, so each level is a batch that an optional domain
+   pool distributes over workers (exactly the partition parallelism of
+   Theorem 1).  A splitting task only reads the graph and its own members
+   and returns its separator plus child components; the shared [removed]
+   array and the round ledger are updated on the calling domain, in part
+   order, after the batch — results never depend on scheduling.  Each
+   level's charged rounds are the maximum over its parts, per the paper's
+   parallel-parts model. *)
 
 open Repro_graph
 open Repro_embedding
@@ -18,56 +28,96 @@ type t = {
   separator_count : int;
 }
 
-let build ?rounds ?(piece_target = 20) ?(trim = true) emb =
-  if piece_target < 1 then invalid_arg "Decomposition.build: piece_target >= 1";
+(* One split: separator of the part, then the connected remainders.  Pure
+   with respect to shared state — safe as a pool task. *)
+let split_part ?rounds ~trim emb members =
   let g = Embedded.graph emb in
-  let removed = Array.make (Graph.n g) false in
+  let cfg = Config.of_part ~members ~root:members.(0) emb in
+  let local = Option.map Repro_congest.Rounds.like rounds in
+  let r = Separator.find ?rounds:local cfg in
+  let sep =
+    if trim then Separator.shrink ?rounds:local cfg r.Separator.separator
+    else r.Separator.separator
+  in
+  let sep_global = List.map (Config.to_global cfg) sep in
+  (* Guard against stalling when the separator comes back empty (tiny
+     pieces): drop at least one vertex so the recursion always makes
+     progress. *)
+  let sep_global =
+    match sep_global with [] -> [ members.(0) ] | s -> s
+  in
+  let in_sep = Hashtbl.create (2 * List.length sep_global) in
+  List.iter (fun v -> Hashtbl.replace in_sep v ()) sep_global;
+  let children =
+    Algo.restricted_components g ~members ~skip:(Hashtbl.mem in_sep)
+  in
+  (sep_global, children, local)
+
+let absorb_heaviest rounds locals =
+  match rounds with
+  | None -> ()
+  | Some g -> Repro_congest.Rounds.absorb_heaviest g locals
+
+(* Level-synchronous driver shared by the size- and diameter-bounded
+   variants.  [stop] decides whether a part is already a piece (it runs
+   inside the batch, in parallel); [guard] bounds the level count. *)
+let build_frontier ?rounds ?pool ~trim ~stop ~guard emb =
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  let removed = Array.make n false in
   let pieces = ref [] in
   let levels = ref 0 in
-  let rec go members level =
-    levels := max !levels level;
-    if List.length members <= piece_target then pieces := members :: !pieces
-    else begin
-      let cfg = Config.of_part ~members ~root:(List.hd members) emb in
-      let r = Separator.find ?rounds cfg in
-      let sep =
-        if trim then Separator.shrink ?rounds cfg r.Separator.separator
-        else r.Separator.separator
-      in
-      let sep_global = List.map (Config.to_global cfg) sep in
-      List.iter (fun v -> removed.(v) <- true) sep_global;
-      (* Recurse on the connected remainders of this part. *)
-      let keep = Hashtbl.create (List.length members) in
-      List.iter (fun v -> if not removed.(v) then Hashtbl.replace keep v ()) members;
-      let seen = Hashtbl.create 64 in
-      List.iter
-        (fun v ->
-          if Hashtbl.mem keep v && not (Hashtbl.mem seen v) then begin
-            let comp = ref [] in
-            let queue = Queue.create () in
-            Hashtbl.replace seen v ();
-            Queue.add v queue;
-            while not (Queue.is_empty queue) do
-              let x = Queue.pop queue in
-              comp := x :: !comp;
-              Array.iter
-                (fun u ->
-                  if Hashtbl.mem keep u && not (Hashtbl.mem seen u) then begin
-                    Hashtbl.replace seen u ();
-                    Queue.add u queue
-                  end)
-                (Graph.neighbors g x)
-            done;
-            go !comp (level + 1)
-          end)
-        members
-    end
+  let pmap f arr =
+    match pool with
+    | Some p -> Repro_util.Pool.map p f arr
+    | None -> Array.map f arr
   in
-  go (List.init (Graph.n g) Fun.id) 0;
+  let frontier = ref [ Array.init n Fun.id ] in
+  let level = ref 0 in
+  while !frontier <> [] do
+    levels := max !levels !level;
+    guard !level;
+    let batch = Array.of_list !frontier in
+    let results =
+      pmap
+        (fun members ->
+          if stop members then `Piece members
+          else `Split (split_part ?rounds ~trim emb members))
+        batch
+    in
+    let locals =
+      Array.map
+        (function `Split (_, _, local) -> local | `Piece _ -> None)
+        results
+    in
+    absorb_heaviest rounds locals;
+    let next = ref [] in
+    Array.iter
+      (function
+        | `Piece members -> pieces := members :: !pieces
+        | `Split (sep_global, children, _) ->
+          List.iter (fun v -> removed.(v) <- true) sep_global;
+          List.iter (fun c -> next := c :: !next) children)
+      results;
+    frontier := List.rev !next;
+    incr level
+  done;
   let separator_count =
     Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 removed
   in
-  { pieces = !pieces; separator = removed; levels = !levels; separator_count }
+  {
+    pieces = List.rev_map Array.to_list !pieces;
+    separator = removed;
+    levels = !levels;
+    separator_count;
+  }
+
+let build ?rounds ?pool ?(piece_target = 20) ?(trim = true) emb =
+  if piece_target < 1 then invalid_arg "Decomposition.build: piece_target >= 1";
+  build_frontier ?rounds ?pool ~trim
+    ~stop:(fun members -> Array.length members <= piece_target)
+    ~guard:(fun _ -> ())
+    emb
 
 (* Structural validation: pieces and separator partition V, every piece is
    within the size target, and no edge joins two distinct pieces. *)
@@ -178,79 +228,31 @@ let piece_diameter_bfs g inside src =
   !far
 
 let piece_diameter_exceeds g members target =
-  match members with
-  | [] -> false
-  | first :: _ ->
-    let inside = Hashtbl.create (List.length members) in
-    List.iter (fun v -> Hashtbl.replace inside v ()) members;
+  if Array.length members = 0 then false
+  else begin
+    let first = members.(0) in
+    let inside = Hashtbl.create (2 * Array.length members) in
+    Array.iter (fun v -> Hashtbl.replace inside v ()) members;
     let far1, _ = piece_diameter_bfs g inside first in
     let _, sweep = piece_diameter_bfs g inside far1 in
     if sweep > target then true
     else
       (* Confirm exactly. *)
-      List.exists
+      Array.exists
         (fun src -> snd (piece_diameter_bfs g inside src) > target)
         members
+  end
 
-let bounded_diameter ?rounds ?(trim = true) ~diameter_target emb =
+let bounded_diameter ?rounds ?pool ?(trim = true) ~diameter_target emb =
   if diameter_target < 1 then
     invalid_arg "Decomposition.bounded_diameter: target >= 1";
   let g = Embedded.graph emb in
-  let removed = Array.make (Graph.n g) false in
-  let pieces = ref [] in
-  let levels = ref 0 in
-  let rec go members level =
-    levels := max !levels level;
-    if level > 4 * Graph.n g then
-      invalid_arg "Decomposition.bounded_diameter: no progress";
-    if not (piece_diameter_exceeds g members diameter_target) then
-      pieces := members :: !pieces
-    else begin
-      let cfg = Config.of_part ~members ~root:(List.hd members) emb in
-      let r = Separator.find ?rounds cfg in
-      let sep =
-        if trim then Separator.shrink ?rounds cfg r.Separator.separator
-        else r.Separator.separator
-      in
-      let sep_global = List.map (Config.to_global cfg) sep in
-      (* Guard against stalling when the separator no longer shrinks the
-         piece (tiny pieces): drop at least one vertex. *)
-      let sep_global =
-        if List.for_all (fun v -> removed.(v)) sep_global then [ List.hd members ]
-        else sep_global
-      in
-      List.iter (fun v -> removed.(v) <- true) sep_global;
-      let keep = Hashtbl.create (List.length members) in
-      List.iter (fun v -> if not removed.(v) then Hashtbl.replace keep v ()) members;
-      let seen = Hashtbl.create 64 in
-      List.iter
-        (fun v ->
-          if Hashtbl.mem keep v && not (Hashtbl.mem seen v) then begin
-            let comp = ref [] in
-            let queue = Queue.create () in
-            Hashtbl.replace seen v ();
-            Queue.add v queue;
-            while not (Queue.is_empty queue) do
-              let x = Queue.pop queue in
-              comp := x :: !comp;
-              Array.iter
-                (fun u ->
-                  if Hashtbl.mem keep u && not (Hashtbl.mem seen u) then begin
-                    Hashtbl.replace seen u ();
-                    Queue.add u queue
-                  end)
-                (Graph.neighbors g x)
-            done;
-            go !comp (level + 1)
-          end)
-        members
-    end
-  in
-  go (List.init (Graph.n g) Fun.id) 0;
-  let separator_count =
-    Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 removed
-  in
-  { pieces = !pieces; separator = removed; levels = !levels; separator_count }
+  build_frontier ?rounds ?pool ~trim
+    ~stop:(fun members -> not (piece_diameter_exceeds g members diameter_target))
+    ~guard:(fun level ->
+      if level > 4 * Graph.n g then
+        invalid_arg "Decomposition.bounded_diameter: no progress")
+    emb
 
 let check_bounded_diameter emb ~diameter_target t =
   let g = Embedded.graph emb in

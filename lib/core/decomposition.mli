@@ -12,10 +12,20 @@ type t = {
   separator_count : int;
 }
 
-val build : ?rounds:Rounds.t -> ?piece_target:int -> ?trim:bool -> Embedded.t -> t
+val build :
+  ?rounds:Rounds.t ->
+  ?pool:Repro_util.Pool.t ->
+  ?piece_target:int ->
+  ?trim:bool ->
+  Embedded.t ->
+  t
 (** Recursively split with Theorem-1 separators until every piece has at
     most [piece_target] (default 20) vertices.  [trim] (default true)
-    applies the balanced-trim post-pass to every separator. *)
+    applies the balanced-trim post-pass to every separator.  The recursion
+    runs level-synchronously: each level's node-disjoint parts form one
+    batch distributed over [pool] when given; the output and the charged
+    rounds (max over each level's parts) are independent of the pool
+    size. *)
 
 val check : Embedded.t -> piece_target:int -> t -> bool
 (** Pieces + separator partition V, pieces respect the target, and no edge
@@ -32,6 +42,7 @@ val is_independent : Graph.t -> int list -> bool
 
 val bounded_diameter :
   ?rounds:Repro_congest.Rounds.t ->
+  ?pool:Repro_util.Pool.t ->
   ?trim:bool ->
   diameter_target:int ->
   Embedded.t ->

@@ -4,7 +4,15 @@
    unvisited region, a cycle separator (Theorem 1) and joins it to the
    partial DFS tree with the DFS-RULE (Lemma 2).  Because each component
    loses a separator, component sizes drop by a constant factor per phase,
-   so there are O(log n) phases, each costing Õ(D) rounds. *)
+   so there are O(log n) phases, each costing Õ(D) rounds.
+
+   The host-side execution mirrors the paper's part-parallelism: both
+   per-phase batches (separators, then joins) are distributed over an
+   optional domain pool.  Every task meters its rounds into a private
+   ledger; ledgers are merged on the calling domain in part-index order and
+   the batch is charged its heaviest part — so charged totals and the
+   resulting tree are independent of how the pool schedules the parts, and
+   running without a pool (or with jobs = 1) is bit-identical. *)
 
 open Repro_graph
 open Repro_embedding
@@ -20,11 +28,19 @@ type result = {
   separator_phases : (string * int) list; (* separator phase histogram *)
 }
 
-let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) emb ~root =
+let absorb_heaviest rounds locals =
+  match rounds with None -> () | Some g -> Rounds.absorb_heaviest g locals
+
+let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
   let g = Embedded.graph emb in
   let n = Graph.n g in
   Graph.check_vertex g root;
   (match rounds with Some r -> Rounds.charge_embedding r | None -> ());
+  let pmap f arr =
+    match pool with
+    | Some p -> Repro_util.Pool.map p f arr
+    | None -> Array.map f arr
+  in
   let st = Join.create g ~root in
   let phases = ref 0 in
   let max_join = ref 0 in
@@ -34,84 +50,57 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) emb ~root =
     Hashtbl.replace sep_phases k
       (1 + Option.value ~default:0 (Hashtbl.find_opt sep_phases k))
   in
-  let all_members = List.init n Fun.id in
-  let unvisited_left () = Array.exists (fun p -> p = -2) st.Join.parent in
-  while unvisited_left () do
+  let all_members = Array.init n Fun.id in
+  while Join.unvisited st > 0 do
     incr phases;
     if !phases > n + 1 then invalid_arg "Dfs.run: too many phases";
     (match rounds with
     | Some r -> Rounds.charge_aggregate r "components[Phase]"
     | None -> ());
-    let comps = Join.unvisited_components st all_members in
-    let largest = List.fold_left (fun a c -> max a (List.length c)) 0 comps in
+    let comps = Array.of_list (Join.unvisited_components st all_members) in
+    let largest = Array.fold_left (fun a c -> max a (Array.length c)) 0 comps in
     (* Theorem 1 on the node-disjoint collection of components: compute all
        separators; parts run in parallel, so the batch costs the rounds of
        its heaviest part. *)
-    let locals = ref [] in
-    let jobs =
-      List.map
+    let separators =
+      pmap
         (fun members ->
-          match members with
-          | ([ _ ] | [ _; _ ] | [ _; _; _ ]) ->
+          if Array.length members <= 3 then
             (* Trivial components: every node is its own separator; skip the
                induced-configuration machinery. *)
-            bump "trivial";
-            (members, members)
-          | _ ->
+            (members, Array.to_list members, "trivial", None)
+          else begin
             let part_root =
               match Join.component_anchor st members with
               | Some (v, _) -> v
-              | None -> List.hd members
+              | None -> members.(0)
             in
             let cfg = Config.of_part ~spanning ~members ~root:part_root emb in
             let local = Option.map Rounds.like rounds in
             let r = Separator.find ?rounds:local cfg in
-            (match local with Some l -> locals := l :: !locals | None -> ());
-            bump r.Separator.phase;
             let separator_global =
               List.map (Config.to_global cfg) r.Separator.separator
             in
-            (members, separator_global))
+            (members, separator_global, r.Separator.phase, local)
+          end)
         comps
     in
-    (match rounds with
-    | Some global ->
-      let heaviest =
-        List.fold_left
-          (fun acc l ->
-            match acc with
-            | None -> Some l
-            | Some b -> if Rounds.total l > Rounds.total b then Some l else acc)
-          None !locals
-      in
-      Option.iter (Rounds.absorb global) heaviest
-    | None -> ());
+    Array.iter (fun (_, _, phase, _) -> bump phase) separators;
+    absorb_heaviest rounds (Array.map (fun (_, _, _, l) -> l) separators);
     (* JOIN runs in parallel over components as well: charge the deepest
        iteration count once. *)
-    let join_locals = ref [] in
-    let phase_join =
-      List.fold_left
-        (fun acc (members, separator) ->
+    let joins =
+      pmap
+        (fun (members, separator, _, _) ->
           let local = Option.map Rounds.like rounds in
           let iters = Join.join ?rounds:local st ~members ~separator in
-          (match local with Some l -> join_locals := l :: !join_locals | None -> ());
-          max acc iters)
-        0 jobs
+          (iters, local))
+        separators
     in
-    (match rounds with
-    | Some global ->
-      let heaviest =
-        List.fold_left
-          (fun acc l ->
-            match acc with
-            | None -> Some l
-            | Some b -> if Rounds.total l > Rounds.total b then Some l else acc)
-          None !join_locals
-      in
-      Option.iter (Rounds.absorb global) heaviest
-    | None -> ());
+    let phase_join = Array.fold_left (fun acc (it, _) -> max acc it) 0 joins in
+    absorb_heaviest rounds (Array.map snd joins);
     max_join := max !max_join phase_join;
-    phase_log := (List.length comps, largest, phase_join) :: !phase_log
+    phase_log := (Array.length comps, largest, phase_join) :: !phase_log
   done;
   {
     parent = Array.copy st.Join.parent;

@@ -15,7 +15,17 @@ type result = {
       (** histogram of the separator phases that fired *)
 }
 
-val run : ?rounds:Rounds.t -> ?spanning:Spanning.kind -> Embedded.t -> root:int -> result
+val run :
+  ?rounds:Rounds.t ->
+  ?spanning:Spanning.kind ->
+  ?pool:Repro_util.Pool.t ->
+  Embedded.t ->
+  root:int ->
+  result
+(** The per-phase separator and join batches are distributed over [pool]
+    when given; results and charged rounds are independent of the pool size
+    (per-part round ledgers are merged in part-index order, charging each
+    batch its heaviest part). *)
 
 val verify : Embedded.t -> root:int -> result -> bool
 (** DFS-tree check: spanning, rooted correctly, and every non-tree edge

@@ -8,7 +8,14 @@
    marked-marked edges.  Preferring those edges keeps every surviving piece
    of the separator a path of the spanning tree, so the chosen path absorbs
    at least half of the piece it enters — giving the O(log) iteration bound
-   of the paper, which experiment E9 measures. *)
+   of the paper, which experiment E9 measures.
+
+   Joins of distinct components may run concurrently (the DFS driver batches
+   them over a domain pool): a join writes [parent]/[depth] only for its own
+   members, and every neighbour it reads outside the component was already
+   visited when the phase began — two unvisited nodes joined by an edge are
+   by definition in the same component.  The running unvisited count is an
+   [Atomic] so those concurrent attachments keep it exact. *)
 
 open Repro_graph
 open Repro_congest
@@ -17,6 +24,7 @@ type state = {
   g : Graph.t;
   parent : int array; (* -1 at the DFS root, -2 while unvisited *)
   depth : int array; (* -1 while unvisited *)
+  unvisited : int Atomic.t; (* count of parent.(v) = -2 entries *)
 }
 
 let create g ~root =
@@ -25,15 +33,17 @@ let create g ~root =
   let depth = Array.make n (-1) in
   parent.(root) <- -1;
   depth.(root) <- 0;
-  { g; parent; depth }
+  { g; parent; depth; unvisited = Atomic.make (n - 1) }
 
 let in_tree st v = st.parent.(v) > -2
+
+let unvisited st = Atomic.get st.unvisited
 
 (* Anchor of a component: the unvisited node with the deepest visited
    neighbour (ties broken by identifiers for determinism).  Returns the
    anchor and that neighbour. *)
 let component_anchor st members =
-  List.fold_left
+  Array.fold_left
     (fun acc v ->
       Array.fold_left
         (fun acc u ->
@@ -53,9 +63,9 @@ let component_anchor st members =
    between still-marked nodes (Kruskal with 0/1 weights), then BFS over the
    chosen edges for parents and depths. *)
 let preferring_tree st members ~anchor ~marked =
-  let member = Hashtbl.create (List.length members) in
-  List.iteri (fun i v -> Hashtbl.replace member v i) members;
-  let k = List.length members in
+  let k = Array.length members in
+  let member = Hashtbl.create (2 * k) in
+  Array.iteri (fun i v -> Hashtbl.replace member v i) members;
   let idx v = Hashtbl.find member v in
   let uf = Repro_util.Union_find.create k in
   let adj = Array.make k [] in
@@ -66,7 +76,7 @@ let preferring_tree st members ~anchor ~marked =
     end
   in
   let consider pass =
-    List.iter
+    Array.iter
       (fun v ->
         Array.iter
           (fun u ->
@@ -83,16 +93,18 @@ let preferring_tree st members ~anchor ~marked =
   let depth = Array.make k (-1) in
   parent.(idx anchor) <- -1;
   depth.(idx anchor) <- 0;
-  let queue = Queue.create () in
-  Queue.add anchor queue;
-  while not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
+  let queue = Array.make k anchor in
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
     List.iter
       (fun u ->
         if parent.(idx u) = -2 then begin
           parent.(idx u) <- v;
           depth.(idx u) <- depth.(idx v) + 1;
-          Queue.add u queue
+          queue.(!tail) <- u;
+          incr tail
         end)
       adj.(idx v)
   done;
@@ -109,41 +121,19 @@ let attach st ~anchor ~anchor_parent ~idx ~tree_parent target =
     | v :: rest ->
       st.parent.(v) <- prev;
       st.depth.(v) <- st.depth.(prev) + 1;
+      Atomic.decr st.unvisited;
       walk v rest
   in
   walk anchor_parent path
 
 (* Components of the unvisited part of [members]. *)
 let unvisited_components st members =
-  let seen = Hashtbl.create 64 in
-  let comps = ref [] in
-  List.iter
-    (fun v ->
-      if (not (in_tree st v)) && not (Hashtbl.mem seen v) then begin
-        let comp = ref [] in
-        let queue = Queue.create () in
-        Hashtbl.replace seen v ();
-        Queue.add v queue;
-        while not (Queue.is_empty queue) do
-          let x = Queue.pop queue in
-          comp := x :: !comp;
-          Array.iter
-            (fun u ->
-              if (not (in_tree st u)) && not (Hashtbl.mem seen u) then begin
-                Hashtbl.replace seen u ();
-                Queue.add u queue
-              end)
-            (Graph.neighbors st.g x)
-        done;
-        comps := !comp :: !comps
-      end)
-    members;
-  !comps
+  Algo.restricted_components st.g ~members ~skip:(in_tree st)
 
 (* Add all separator nodes of one original component to the partial DFS
    tree.  Returns the number of halving iterations used. *)
 let join ?rounds st ~members ~separator =
-  let remaining = Hashtbl.create (List.length separator) in
+  let remaining = Hashtbl.create (2 * List.length separator) in
   List.iter
     (fun v -> if not (in_tree st v) then Hashtbl.replace remaining v ())
     separator;
@@ -163,7 +153,7 @@ let join ?rounds st ~members ~separator =
     let touched = ref false in
     List.iter
       (fun comp ->
-        let has_marked = List.exists (Hashtbl.mem remaining) comp in
+        let has_marked = Array.exists (Hashtbl.mem remaining) comp in
         if has_marked then begin
           match component_anchor st comp with
           | None -> invalid_arg "Join.join: component with no tree neighbour"
@@ -173,7 +163,7 @@ let join ?rounds st ~members ~separator =
             in
             (* Deepest remaining marked node of this component's tree. *)
             let target =
-              List.fold_left
+              Array.fold_left
                 (fun acc v ->
                   if Hashtbl.mem remaining v then begin
                     match acc with
@@ -189,7 +179,7 @@ let join ?rounds st ~members ~separator =
             | Some h ->
               attach st ~anchor ~anchor_parent ~idx ~tree_parent h;
               touched := true;
-              List.iter
+              Array.iter
                 (fun v -> if in_tree st v then Hashtbl.remove remaining v)
                 comp)
         end)

@@ -1,5 +1,8 @@
 (** JOIN-PROBLEM (Lemma 2): growing a partial DFS tree by the nodes of a
-    marked cycle separator under the DFS-RULE. *)
+    marked cycle separator under the DFS-RULE.
+
+    Joins of distinct components only touch their own members, so the DFS
+    driver may run them concurrently over a domain pool. *)
 
 open Repro_graph
 open Repro_congest
@@ -8,20 +11,25 @@ type state = {
   g : Graph.t;
   parent : int array; (** -1 at the DFS root, -2 while unvisited *)
   depth : int array; (** -1 while unvisited *)
+  unvisited : int Atomic.t; (** running count of unvisited nodes *)
 }
 
 val create : Graph.t -> root:int -> state
 
 val in_tree : state -> int -> bool
 
-val component_anchor : state -> int list -> (int * int) option
+val unvisited : state -> int
+(** Number of still-unvisited nodes, maintained incrementally (O(1), where
+    scanning the parent array per phase would be O(n)). *)
+
+val component_anchor : state -> int array -> (int * int) option
 (** The unvisited node of the component with the deepest visited neighbour,
     paired with that neighbour (the DFS-RULE attachment point). *)
 
-val unvisited_components : state -> int list -> int list list
+val unvisited_components : state -> int array -> int array list
 (** Connected components of the unvisited part of the member set. *)
 
-val join : ?rounds:Rounds.t -> state -> members:int list -> separator:int list -> int
+val join : ?rounds:Rounds.t -> state -> members:int array -> separator:int list -> int
 (** Add every separator node of the component to the partial tree; returns
     the number of halving iterations used (Lemma 2 bounds it by O(log n)
     per surviving path piece). *)

@@ -474,33 +474,32 @@ let shrink ?rounds cfg path =
   end
 
 (* Theorem 1: separators for every part of a partition.  Parts run
-   concurrently under the shortcut framework, so the batch is charged the
-   rounds of its most expensive part, not the sum. *)
-let find_partition ?rounds emb ~parts =
-  let locals = ref [] in
+   concurrently under the shortcut framework — and, host-side, over the
+   domain pool when one is given — so the batch is charged the rounds of
+   its most expensive part, not the sum.  Per-part ledgers are merged in
+   part order; the output is independent of pool scheduling. *)
+let find_partition ?rounds ?pool emb ~parts =
+  let tasks = Array.of_list (List.map Array.of_list parts) in
+  let pmap f arr =
+    match pool with
+    | Some p -> Repro_util.Pool.map p f arr
+    | None -> Array.map f arr
+  in
   let results =
-    List.map
+    pmap
       (fun members ->
-        match members with
-        | [] -> invalid_arg "Separator.find_partition: empty part"
-        | root :: _ ->
-          let cfg = Config.of_part ~members ~root emb in
+        if Array.length members = 0 then
+          invalid_arg "Separator.find_partition: empty part"
+        else begin
+          let cfg = Config.of_part ~members ~root:members.(0) emb in
           let local = Option.map Rounds.like rounds in
           let r = find ?rounds:local cfg in
-          (match local with Some l -> locals := l :: !locals | None -> ());
-          (cfg, r))
-      parts
+          (cfg, r, local)
+        end)
+      tasks
   in
   (match rounds with
   | Some global ->
-    let heaviest =
-      List.fold_left
-        (fun acc l ->
-          match acc with
-          | None -> Some l
-          | Some best -> if Rounds.total l > Rounds.total best then Some l else acc)
-        None !locals
-    in
-    Option.iter (Rounds.absorb global) heaviest
+    Rounds.absorb_heaviest global (Array.map (fun (_, _, l) -> l) results)
   | None -> ());
-  results
+  Array.to_list (Array.map (fun (cfg, r, _) -> (cfg, r)) results)

@@ -35,7 +35,13 @@ val shrink : ?rounds:Rounds.t -> Config.t -> int list -> int list
     need balance. *)
 
 val find_partition :
-  ?rounds:Rounds.t -> Embedded.t -> parts:int list list -> (Config.t * result) list
+  ?rounds:Rounds.t ->
+  ?pool:Repro_util.Pool.t ->
+  Embedded.t ->
+  parts:int list list ->
+  (Config.t * result) list
 (** Separator of [G[P_i]] for every part; each part must induce a connected
     subgraph.  Results are in part order, paired with the (renumbered)
-    per-part configuration. *)
+    per-part configuration.  Parts are computed concurrently over [pool]
+    when given, mirroring Theorem 1's partition parallelism; results and
+    charged rounds do not depend on the pool size. *)

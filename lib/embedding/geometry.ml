@@ -55,7 +55,7 @@ let segments_cross (a, b) (c, d) =
 
 (* O(m^2) straight-line planarity check; test-only ground truth. *)
 let straight_line_planar g coords =
-  let es = Array.of_list (Graph.edges g) in
+  let es = Graph.edge_array g in
   let ok = ref true in
   let k = Array.length es in
   for i = 0 to k - 1 do

@@ -71,6 +71,44 @@ let component_sizes g =
   Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
   sizes
 
+(* Connected components of [members \ skip], discovered in member order.
+   Every surviving member enters a single preallocated ring exactly once, so
+   each component is a contiguous slice of it — no per-node list cells.  The
+   shared hot path of the part-parallel batches in [Dfs] and
+   [Decomposition]; it only reads the graph, so concurrent calls on
+   disjoint member sets are safe. *)
+let restricted_components g ~members ~skip =
+  let k = Array.length members in
+  let inside = Hashtbl.create (2 * k) in
+  Array.iter (fun v -> if not (skip v) then Hashtbl.replace inside v ()) members;
+  let queue = Array.make (max 1 k) 0 in
+  let tail = ref 0 in
+  let comps = ref [] in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem inside v then begin
+        let start = !tail in
+        Hashtbl.remove inside v;
+        queue.(!tail) <- v;
+        incr tail;
+        let head = ref start in
+        while !head < !tail do
+          let x = queue.(!head) in
+          incr head;
+          Array.iter
+            (fun u ->
+              if Hashtbl.mem inside u then begin
+                Hashtbl.remove inside u;
+                queue.(!tail) <- u;
+                incr tail
+              end)
+            (Graph.neighbors g x)
+        done;
+        comps := Array.sub queue start (!tail - start) :: !comps
+      end)
+    members;
+  List.rev !comps
+
 let is_connected g = Graph.n g = 0 || snd (components g) = 1
 
 let eccentricity g v =

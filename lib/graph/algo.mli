@@ -11,6 +11,12 @@ val components : Graph.t -> int array * int
 
 val component_sizes : Graph.t -> int array
 
+val restricted_components :
+  Graph.t -> members:int array -> skip:(int -> bool) -> int array list
+(** Connected components of the subgraph induced by the members for which
+    [skip] is false, in member-discovery order; each component lists its
+    vertices in BFS order.  Only reads the graph. *)
+
 val is_connected : Graph.t -> bool
 
 val eccentricity : Graph.t -> int -> int

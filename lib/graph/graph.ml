@@ -59,12 +59,26 @@ let of_edges ~n edges =
     uniq;
   { n; adj; edge_index; m = List.length uniq }
 
-let edges t =
-  let acc = ref [] in
-  for u = t.n - 1 downto 0 do
-    Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+(* Each edge once, into a preallocated array (no list churn).  The order —
+   ascending u, each vertex's adjacency scanned in reverse — matches what
+   the historical list-accumulator produced, so seeded consumers (e.g. the
+   random spanning tree's shuffle) see identical inputs. *)
+let edge_array t =
+  let out = Array.make t.m (0, 0) in
+  let i = ref 0 in
+  for u = 0 to t.n - 1 do
+    let a = t.adj.(u) in
+    for j = Array.length a - 1 downto 0 do
+      let v = a.(j) in
+      if u < v then begin
+        out.(!i) <- (u, v);
+        incr i
+      end
+    done
   done;
-  !acc
+  out
+
+let edges t = Array.to_list (edge_array t)
 
 let iter_edges t f =
   for u = 0 to t.n - 1 do
@@ -87,15 +101,43 @@ let induced t keep =
     if keep.(v) then old_of_new.(new_of_old.(v)) <- v
   done;
   (* Scan only the kept vertices' adjacency, not the whole edge set, so a
-     batch of small induced subgraphs stays near-linear overall. *)
-  let es = ref [] in
+     batch of small induced subgraphs stays near-linear overall.  The
+     adjacency arrays are built directly — no intermediate edge list and no
+     [of_edges] rebuild; the fill order reproduces the historical one
+     (descending u, reversed adjacency) bit for bit. *)
+  let k = !count in
+  let deg = Array.make k 0 in
+  let m = ref 0 in
   Array.iter
     (fun u ->
       Array.iter
-        (fun v -> if u < v && keep.(v) then es := (new_of_old.(u), new_of_old.(v)) :: !es)
+        (fun v ->
+          if u < v && keep.(v) then begin
+            deg.(new_of_old.(u)) <- deg.(new_of_old.(u)) + 1;
+            deg.(new_of_old.(v)) <- deg.(new_of_old.(v)) + 1;
+            incr m
+          end)
         t.adj.(u))
     old_of_new;
-  (of_edges ~n:!count !es, new_of_old, old_of_new)
+  let edge_index = Hashtbl.create (2 * !m) in
+  let adj = Array.init k (fun v -> Array.make deg.(v) (-1)) in
+  let fill = Array.make k 0 in
+  for i = k - 1 downto 0 do
+    let u = old_of_new.(i) in
+    let nbrs = t.adj.(u) in
+    for j = Array.length nbrs - 1 downto 0 do
+      let v = nbrs.(j) in
+      if u < v && keep.(v) then begin
+        let nu = new_of_old.(u) and nv = new_of_old.(v) in
+        Hashtbl.add edge_index (encode nu nv) ();
+        adj.(nu).(fill.(nu)) <- nv;
+        fill.(nu) <- fill.(nu) + 1;
+        adj.(nv).(fill.(nv)) <- nu;
+        fill.(nv) <- fill.(nv) + 1
+      end
+    done
+  done;
+  ({ n = k; adj; edge_index; m = !m }, new_of_old, old_of_new)
 
 let pp fmt t =
   Fmt.pf fmt "graph(n=%d, m=%d)" t.n t.m

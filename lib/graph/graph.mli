@@ -24,6 +24,9 @@ val check_vertex : t -> int -> unit
 val edges : t -> (int * int) list
 (** Each edge once, as [(u, v)] with [u < v]. *)
 
+val edge_array : t -> (int * int) array
+(** Same edges as [edges], in the same order, without the list. *)
+
 val iter_edges : t -> (int -> int -> unit) -> unit
 
 val induced : t -> bool array -> t * int array * int array

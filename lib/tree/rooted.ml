@@ -71,23 +71,26 @@ let build ?root_first ~rot ~root parent =
   let pi_left = Array.make n (-1) in
   let pi_right = Array.make n (-1) in
   (* Iterative post-order pass for sizes and pre-order passes for both DFS
-     orders; explicit stacks keep deep paths (Θ(n)) from overflowing. *)
+     orders; explicit preallocated stacks keep deep paths (Θ(n)) from
+     overflowing without allocating a cons cell per visit.  The children
+     relation partitions the vertices, so no stack ever holds more than n
+     entries. *)
   depth.(root) <- 0;
   let order = Array.make n root in
   let top = ref 0 in
-  let stack = ref [ root ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | v :: rest ->
-      stack := rest;
-      order.(!top) <- v;
-      incr top;
-      Array.iter
-        (fun c ->
-          depth.(c) <- depth.(v) + 1;
-          stack := c :: !stack)
-        children.(v)
+  let stack = Array.make n root in
+  let sp = ref 1 in
+  while !sp > 0 do
+    decr sp;
+    let v = stack.(!sp) in
+    order.(!top) <- v;
+    incr top;
+    Array.iter
+      (fun c ->
+        depth.(c) <- depth.(v) + 1;
+        stack.(!sp) <- c;
+        incr sp)
+      children.(v)
   done;
   if !top <> n then invalid_arg "Rooted.build: parent array is not a tree";
   for i = n - 1 downto 0 do
@@ -96,25 +99,26 @@ let build ?root_first ~rot ~root parent =
   done;
   let assign_order pi ~leftmost_first =
     let clock = ref 0 in
-    let stack = ref [ root ] in
-    while !stack <> [] do
-      match !stack with
-      | [] -> ()
-      | v :: rest ->
-        stack := rest;
-        pi.(v) <- !clock;
-        incr clock;
-        let cs = children.(v) in
-        let k = Array.length cs in
-        (* Stack is LIFO: push the child to visit *last* first. *)
-        if leftmost_first then
-          for i = 0 to k - 1 do
-            stack := cs.(i) :: !stack
-          done
-        else
-          for i = k - 1 downto 0 do
-            stack := cs.(i) :: !stack
-          done
+    stack.(0) <- root;
+    sp := 1;
+    while !sp > 0 do
+      decr sp;
+      let v = stack.(!sp) in
+      pi.(v) <- !clock;
+      incr clock;
+      let cs = children.(v) in
+      let k = Array.length cs in
+      (* Stack is LIFO: push the child to visit *last* first. *)
+      if leftmost_first then
+        for i = 0 to k - 1 do
+          stack.(!sp) <- cs.(i);
+          incr sp
+        done
+      else
+        for i = k - 1 downto 0 do
+          stack.(!sp) <- cs.(i);
+          incr sp
+        done
     done
   in
   (* LEFT-DFS-ORDER explores the counterclockwise-most unexplored child

@@ -17,7 +17,7 @@ let dfs g ~root = Algo.dfs_parents g root
    + union-find.  Cheap and adequate for stress testing. *)
 let random g ~root ~seed =
   let rng = Rng.create seed in
-  let es = Array.of_list (Graph.edges g) in
+  let es = Graph.edge_array g in
   Rng.shuffle_in_place rng es;
   let uf = Union_find.create (Graph.n g) in
   let adj = Array.make (Graph.n g) [] in

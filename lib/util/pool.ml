@@ -1,0 +1,151 @@
+(* Fixed-size domain pool.
+
+   Workers block on a condition variable between batches; a batch bumps a
+   generation counter and workers drain a shared index cursor until every
+   element is claimed.  The submitting domain participates in the drain and
+   then waits for the last completion, so a [map] call costs no spawns —
+   domains are spawned once, at [create].
+
+   All shared fields are read and written under [mutex]; task bodies run
+   outside the lock.  Results land in a per-batch array at the task's own
+   index, so output order is input order regardless of scheduling. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable run_item : int -> unit; (* current batch: execute element i *)
+  mutable length : int; (* batch size *)
+  mutable next : int; (* next unclaimed index *)
+  mutable completed : int; (* finished (or skipped) elements *)
+  mutable generation : int; (* bumped once per batch *)
+  mutable busy : bool; (* a batch is in flight *)
+  mutable failure : exn option; (* first task exception of the batch *)
+  mutable quit : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let no_work (_ : int) = ()
+
+let default_jobs () = min 8 (max 1 (Domain.recommended_domain_count ()))
+
+(* Claim-and-run loop shared by workers and the submitting domain.  After a
+   task fails, the rest of the batch is drained without running (claims are
+   still counted so the waiter can finish). *)
+let drain t =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.mutex;
+    if t.next >= t.length then begin
+      continue_ := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let i = t.next in
+      t.next <- t.next + 1;
+      let run = t.run_item in
+      let skip = t.failure <> None in
+      Mutex.unlock t.mutex;
+      let error =
+        if skip then None
+        else match run i with () -> None | exception e -> Some e
+      in
+      Mutex.lock t.mutex;
+      (match error with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | _ -> ());
+      t.completed <- t.completed + 1;
+      if t.completed = t.length then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let rec worker t my_generation =
+  Mutex.lock t.mutex;
+  while (not t.quit) && t.generation = my_generation do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if t.quit then Mutex.unlock t.mutex
+  else begin
+    let generation = t.generation in
+    Mutex.unlock t.mutex;
+    drain t;
+    worker t generation
+  end
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      run_item = no_work;
+      length = 0;
+      next = 0;
+      completed = 0;
+      generation = 0;
+      busy = false;
+      failure = None;
+      quit = false;
+      domains = [||];
+    }
+  in
+  if jobs > 1 then
+    t.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let jobs t = t.jobs
+
+let map t f arr =
+  let len = Array.length arr in
+  if t.jobs <= 1 || Array.length t.domains = 0 || len <= 1 then Array.map f arr
+  else begin
+    Mutex.lock t.mutex;
+    if t.busy then begin
+      (* Re-entrant map from inside a task: run sequentially. *)
+      Mutex.unlock t.mutex;
+      Array.map f arr
+    end
+    else begin
+      let results = Array.make len None in
+      t.run_item <- (fun i -> results.(i) <- Some (f arr.(i)));
+      t.length <- len;
+      t.next <- 0;
+      t.completed <- 0;
+      t.failure <- None;
+      t.busy <- true;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      drain t;
+      Mutex.lock t.mutex;
+      while t.completed < t.length do
+        Condition.wait t.work_done t.mutex
+      done;
+      let failure = t.failure in
+      t.run_item <- no_work;
+      t.length <- 0;
+      t.failure <- None;
+      t.busy <- false;
+      Mutex.unlock t.mutex;
+      match failure with
+      | Some e -> raise e
+      | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.quit <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

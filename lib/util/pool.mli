@@ -1,0 +1,37 @@
+(** Fixed-size domain pool for part-parallel batches.
+
+    The paper's Theorem 1 computes separators "in parallel over all parts"
+    of a partition; the host-side simulator mirrors that parallelism with a
+    small pool of OCaml 5 domains.  [map] distributes the elements of an
+    array over the pool's domains and returns the results in input order,
+    so callers stay deterministic as long as their tasks are.
+
+    A pool created with [jobs = 1] spawns no domains at all: [map] then is
+    exactly [Array.map], bit-identical to the sequential code path. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [max 1 jobs] workers ([jobs - 1] domains plus the
+    calling domain, which participates in every [map]). *)
+
+val jobs : t -> int
+(** The worker count the pool was created with (>= 1). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f arr] applies [f] to every element, scheduling elements over
+    the pool's domains, and returns the results in input order.  If any
+    task raises, the first exception (in completion order) is re-raised
+    after the batch drains and the remaining unstarted tasks are skipped;
+    the pool stays usable.  Re-entrant calls (a task calling [map] on the
+    same pool) fall back to sequential execution rather than deadlock. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent; [map] after [shutdown] runs
+    sequentially. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, and always [shutdown]. *)

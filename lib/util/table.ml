@@ -26,6 +26,10 @@ let add_row t cells =
     invalid_arg "Table.add_row: wrong arity";
   t.rows <- cells :: t.rows
 
+let title t = t.title
+let headers t = Array.to_list t.headers
+let rows t = List.rev_map Array.to_list t.rows
+
 let pad align width s =
   let n = String.length s in
   if n >= width then s

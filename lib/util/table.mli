@@ -11,6 +11,11 @@ val create : title:string -> string list -> t
 val set_align : t -> int -> align -> unit
 val add_row : t -> string list -> unit
 
+val title : t -> string
+val headers : t -> string list
+val rows : t -> string list list
+(** Accessors for machine-readable export (rows in insertion order). *)
+
 val render : t -> string
 val print : t -> unit
 

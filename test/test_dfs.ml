@@ -91,7 +91,7 @@ let test_join_single_path () =
   let emb = Gen.path 9 in
   let g = Embedded.graph emb in
   let st = Join.create g ~root:0 in
-  let members = List.init 8 (fun i -> i + 1) in
+  let members = Array.init 8 (fun i -> i + 1) in
   let separator = [ 4; 5; 6 ] in
   let iters = Join.join st ~members ~separator in
   Alcotest.(check bool) "few iterations" true (iters <= 2);
@@ -111,7 +111,7 @@ let test_join_anchor_deepest () =
   st.Join.depth.(1) <- 1;
   st.Join.parent.(2) <- 1;
   st.Join.depth.(2) <- 2;
-  match Join.component_anchor st [ 3; 4; 5 ] with
+  match Join.component_anchor st [| 3; 4; 5 |] with
   | Some (anchor, via) ->
     Alcotest.(check int) "anchor" 3 anchor;
     Alcotest.(check int) "via deepest" 2 via

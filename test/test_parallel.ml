@@ -1,0 +1,100 @@
+(* Sequential equivalence of the part-parallel batch runner: for every
+   family, running with no pool, a jobs=1 pool and a jobs=4 pool must
+   produce bit-identical trees, decompositions and charged round totals. *)
+
+open Repro_util
+open Repro_graph
+open Repro_embedding
+open Repro_congest
+open Repro_core
+
+let with_modes f =
+  (* no pool / sequential pool / parallel pool *)
+  let none = f None in
+  let seq = Pool.with_pool ~jobs:1 (fun p -> f (Some p)) in
+  let par = Pool.with_pool ~jobs:4 (fun p -> f (Some p)) in
+  (none, seq, par)
+
+let check_all name eq (none, seq, par) =
+  Alcotest.(check bool) (name ^ ": jobs=1 = no pool") true (eq none seq);
+  Alcotest.(check bool) (name ^ ": jobs=4 = no pool") true (eq none par)
+
+let test_dfs_deterministic () =
+  List.iter
+    (fun family ->
+      let emb = Gen.by_family ~seed:7 family ~n:150 in
+      let g = Embedded.graph emb in
+      let d = Algo.diameter g in
+      let run pool =
+        let rounds = Rounds.create ~n:(Graph.n g) ~d () in
+        let r = Dfs.run ~rounds ?pool emb ~root:(Embedded.outer emb) in
+        (r, Rounds.total rounds, List.sort compare (Rounds.breakdown rounds))
+      in
+      check_all (family ^ " dfs")
+        (fun (r1, t1, b1) (r2, t2, b2) ->
+          r1.Dfs.parent = r2.Dfs.parent
+          && r1.Dfs.depth = r2.Dfs.depth
+          && r1.Dfs.phases = r2.Dfs.phases
+          && r1.Dfs.max_join_iterations = r2.Dfs.max_join_iterations
+          && r1.Dfs.phase_log = r2.Dfs.phase_log
+          && r1.Dfs.separator_phases = r2.Dfs.separator_phases
+          && t1 = t2 && b1 = b2)
+        (with_modes run))
+    Gen.family_names
+
+let test_decomposition_deterministic () =
+  List.iter
+    (fun family ->
+      let emb = Gen.by_family ~seed:3 family ~n:150 in
+      let g = Embedded.graph emb in
+      let d = Algo.diameter g in
+      let run pool =
+        let rounds = Rounds.create ~n:(Graph.n g) ~d () in
+        let t = Decomposition.build ~rounds ?pool ~piece_target:12 emb in
+        (t, Rounds.total rounds)
+      in
+      check_all (family ^ " decomposition")
+        (fun (t1, r1) (t2, r2) ->
+          t1.Decomposition.pieces = t2.Decomposition.pieces
+          && t1.Decomposition.separator = t2.Decomposition.separator
+          && t1.Decomposition.levels = t2.Decomposition.levels
+          && t1.Decomposition.separator_count = t2.Decomposition.separator_count
+          && r1 = r2)
+        (with_modes run))
+    Gen.family_names
+
+let test_find_partition_deterministic () =
+  let emb = Gen.stacked_triangulation ~seed:9 ~n:200 () in
+  let parts =
+    let t = Decomposition.build ~piece_target:40 emb in
+    List.filter (fun p -> List.length p > 3) t.Decomposition.pieces
+  in
+  Alcotest.(check bool) "enough parts" true (List.length parts >= 2);
+  let run pool =
+    List.map
+      (fun (_, r) -> (r.Separator.separator, r.Separator.phase))
+      (Separator.find_partition ?pool emb ~parts)
+  in
+  check_all "find_partition" ( = ) (with_modes run)
+
+let test_bounded_diameter_deterministic () =
+  let emb = Gen.grid_diag ~seed:2 ~rows:12 ~cols:12 () in
+  let run pool =
+    let t = Decomposition.bounded_diameter ?pool ~diameter_target:6 emb in
+    (t.Decomposition.pieces, t.Decomposition.separator, t.Decomposition.levels)
+  in
+  check_all "bounded_diameter" ( = ) (with_modes run)
+
+let suites =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "dfs sequential-equivalent" `Quick test_dfs_deterministic;
+        Alcotest.test_case "decomposition sequential-equivalent" `Quick
+          test_decomposition_deterministic;
+        Alcotest.test_case "find_partition sequential-equivalent" `Quick
+          test_find_partition_deterministic;
+        Alcotest.test_case "bounded_diameter sequential-equivalent" `Quick
+          test_bounded_diameter_deterministic;
+      ] );
+  ]

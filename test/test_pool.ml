@@ -1,0 +1,89 @@
+(* The domain pool: ordering, bypass, failure handling, reuse. *)
+
+open Repro_util
+
+exception Boom of int
+
+let test_map_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let input = Array.init 1000 Fun.id in
+      let out = Pool.map p (fun x -> x * x) input in
+      Alcotest.(check int) "length" 1000 (Array.length out);
+      Array.iteri
+        (fun i y -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) y)
+        out)
+
+let test_jobs_one_bypasses () =
+  Pool.with_pool ~jobs:1 (fun p ->
+      Alcotest.(check int) "jobs" 1 (Pool.jobs p);
+      (* Tasks run on the calling domain, in order, with no interleaving. *)
+      let trace = ref [] in
+      let out =
+        Pool.map p
+          (fun x ->
+            trace := x :: !trace;
+            x + 1)
+          (Array.init 50 Fun.id)
+      in
+      Alcotest.(check (list int)) "sequential order" (List.init 50 Fun.id)
+        (List.rev !trace);
+      Alcotest.(check int) "result" 50 out.(49))
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check int) "empty" 0 (Array.length (Pool.map p Fun.id [||]));
+      let one = Pool.map p (fun x -> x * 10) [| 7 |] in
+      Alcotest.(check int) "singleton" 70 one.(0))
+
+let test_exception_propagates_and_pool_survives () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      (match Pool.map p (fun x -> if x = 13 then raise (Boom x) else x)
+               (Array.init 64 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 13 -> ()
+      | exception e -> raise e);
+      (* The pool must stay usable after a failed batch. *)
+      let out = Pool.map p (fun x -> x + 1) (Array.init 64 Fun.id) in
+      Alcotest.(check int) "reused after failure" 64 out.(63))
+
+let test_reentrant_map_falls_back () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let out =
+        Pool.map p
+          (fun x ->
+            (* A task mapping on the same pool must not deadlock. *)
+            Array.fold_left ( + ) 0 (Pool.map p (fun y -> x * y) [| 1; 2; 3 |]))
+          (Array.init 8 Fun.id)
+      in
+      Array.iteri
+        (fun i y -> Alcotest.(check int) (Printf.sprintf "nested %d" i) (6 * i) y)
+        out)
+
+let test_map_after_shutdown_sequential () =
+  let p = Pool.create ~jobs:4 in
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  let out = Pool.map p (fun x -> x * 2) (Array.init 10 Fun.id) in
+  Alcotest.(check int) "after shutdown" 18 out.(9)
+
+let test_default_jobs_sane () =
+  let j = Pool.default_jobs () in
+  Alcotest.(check bool) "1 <= default <= 8" true (j >= 1 && j <= 8)
+
+let suites =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+        Alcotest.test_case "jobs=1 bypasses domains" `Quick test_jobs_one_bypasses;
+        Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+        Alcotest.test_case "exception propagates, pool survives" `Quick
+          test_exception_propagates_and_pool_survives;
+        Alcotest.test_case "re-entrant map falls back" `Quick
+          test_reentrant_map_falls_back;
+        Alcotest.test_case "map after shutdown" `Quick
+          test_map_after_shutdown_sequential;
+        Alcotest.test_case "default jobs sane" `Quick test_default_jobs_sane;
+      ] );
+  ]
