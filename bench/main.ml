@@ -1,4 +1,4 @@
-(* Benchmark harness: regenerates every experiment table (E1..E9) and figure
+(* Benchmark harness: regenerates every experiment table (E1..E12) and figure
    series (F1, F2) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
    micro-benchmarks of the core routines.
 
@@ -21,7 +21,7 @@ let section title = pf "\n######## %s ########\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable recording: every table printed by an experiment is  *)
-(* also captured, and the whole run is dumped to BENCH_1.json.          *)
+(* also captured, and the whole run is dumped to BENCH_2.json.          *)
 (* ------------------------------------------------------------------ *)
 
 let current_exp = ref "-"
@@ -725,19 +725,21 @@ let f2 () =
 (* E11: domain-pool speedup, with bit-identical output checks.          *)
 (* ------------------------------------------------------------------ *)
 
-let e11 ~jobs () =
+let e11 ~jobs ~short () =
   section "E11  Part-batch parallel speedup (domain pool)";
   pf "expected: jobs=%d output bit-identical to jobs=1; speedup bounded by cores\n"
     jobs;
   pf "(this host: %d recommended domains)\n" (Domain.recommended_domain_count ());
+  let size = if short then 512 else 4096 in
   let t =
     Table.create ~title:(Printf.sprintf "E11 (jobs=1 vs jobs=%d)" jobs)
       [
         "workload"; "n"; "jobs=1 (s)"; Printf.sprintf "jobs=%d (s)" jobs;
-        "speedup"; "identical";
+        "speedup"; "mode"; "identical";
       ]
   in
   Table.set_align t 0 Table.Left;
+  Table.set_align t 5 Table.Left;
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -747,7 +749,17 @@ let e11 ~jobs () =
     (* Warm once so allocator/GC state is comparable, then time each mode. *)
     ignore (Pool.with_pool ~jobs:1 run);
     let r1, s1 = time (fun () -> Pool.with_pool ~jobs:1 run) in
-    let rn, sn = time (fun () -> Pool.with_pool ~jobs run) in
+    let mode = ref "pool" in
+    let rn, sn =
+      time (fun () ->
+          Pool.with_pool ~jobs (fun p ->
+              (* Every batch these workloads submit is a set of node-disjoint
+                 parts, so each batch's cost estimate is at most n.  If even
+                 cost = n stays below the pool's grain, provably every
+                 Pool.map of the run took the sequential path. *)
+              if not (Pool.runs_parallel ~cost:n p 2) then mode := "seq-fallback";
+              run p))
+    in
     let same = equal r1 rn in
     Table.add_row t
       [
@@ -756,13 +768,14 @@ let e11 ~jobs () =
         Table.fmt_float ~digits:3 s1;
         Table.fmt_float ~digits:3 sn;
         Table.fmt_float ~digits:2 (s1 /. sn);
+        !mode;
         string_of_bool same;
       ];
     assert same
   in
   List.iter
     (fun (fname, gen) ->
-      let emb = gen 4096 1 in
+      let emb = gen size 1 in
       let g = Embedded.graph emb in
       let n = Graph.n g in
       let root = Embedded.outer emb in
@@ -810,7 +823,113 @@ let e11 ~jobs () =
     [ List.nth diameter_suite 0; List.nth diameter_suite 1 ];
   output t;
   pf "(identical = parents/depths/pieces/phase logs and charged round totals\n";
-  pf " all equal between the two runs; speedup ~1.0 on single-core hosts)\n"
+  pf " all equal between the two runs; mode = seq-fallback proves every batch\n";
+  pf " stayed below the pool's seq_grain — the pool then never even spawns its\n";
+  pf " worker domains, so the jobs=%d run stays on single-domain execution)\n" jobs
+
+(* ------------------------------------------------------------------ *)
+(* E12: engine scheduling — event-driven vs dense reference.            *)
+(* ------------------------------------------------------------------ *)
+
+let e12 ~short () =
+  section "E12  Engine scheduling: event-driven vs dense reference";
+  pf "expected: >=5x on frontier-sparse workloads (deep-cycle BFS); no\n";
+  pf "          regression on dense frontiers; outputs and stats bit-identical\n";
+  let t =
+    Table.create
+      ~title:(if short then "E12 (short)" else "E12")
+      [
+        "workload"; "n"; "rounds"; "reference (ms)"; "event-driven (ms)";
+        "speedup"; "identical";
+      ]
+  in
+  Table.set_align t 0 Table.Left;
+  (* Sub-millisecond single runs are all timer noise: calibrate repetitions
+     so every measurement spans at least [min_time], and report the mean. *)
+  let min_time = if short then 0.05 else 0.25 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = ref (f ()) in
+    let once = Unix.gettimeofday () -. t0 in
+    let reps = int_of_float (ceil (min_time /. Float.max 1e-6 once)) in
+    if reps <= 1 then (!r, once)
+    else begin
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        r := f ()
+      done;
+      (!r, (Unix.gettimeofday () -. t0) /. float_of_int reps)
+    end
+  in
+  let module Bfs_ref = Engine.Reference.Make (Prim.Bfs_program) in
+  let module Bfs_fast = Engine.Make (Prim.Bfs_program) in
+  let module Pw_ref = Engine.Reference.Make (Prim.Partwise_program) in
+  let module Pw_fast = Engine.Make (Prim.Partwise_program) in
+  let row name n run_ref run_fast =
+    (* Warm both paths once, then time each. *)
+    ignore (run_ref ());
+    ignore (run_fast ());
+    let (out_ref, st_ref), tr = time run_ref in
+    let (out_fast, st_fast), tf = time run_fast in
+    let same = out_ref = out_fast && st_ref = st_fast in
+    Table.add_row t
+      [
+        name;
+        Table.fmt_int n;
+        Table.fmt_int st_ref.Engine.rounds;
+        Table.fmt_float ~digits:3 (1000.0 *. tr);
+        Table.fmt_float ~digits:3 (1000.0 *. tf);
+        Table.fmt_float ~digits:2 (tr /. tf);
+        string_of_bool same;
+      ];
+    assert same
+  in
+  (* Deep cycle: Theta(n) rounds with a 1..2-node frontier — the dense
+     scheduler's worst case (it scans all n nodes every round), the
+     event-driven scheduler's best. *)
+  let n_cycle = if short then 2048 else 16384 in
+  let gc = Embedded.graph (Gen.cycle n_cycle) in
+  let cycle_input = Array.init n_cycle (fun v -> v = 0) in
+  row "bfs/deep-cycle (sparse frontier)" n_cycle
+    (fun () -> Bfs_ref.run ~max_rounds:(2 * n_cycle) gc ~input:cycle_input)
+    (fun () -> Bfs_fast.run ~max_rounds:(2 * n_cycle) gc ~input:cycle_input);
+  (* Dense frontier: low diameter, most nodes active most rounds — the
+     event-driven bookkeeping must not cost anything here. *)
+  let n_dense = if short then 512 else 4096 in
+  let gd = Embedded.graph (Gen.stacked_triangulation ~seed:4 ~n:n_dense ()) in
+  let dense_input = Array.init n_dense (fun v -> v = 0) in
+  row "bfs/stacked (dense frontier)" n_dense
+    (fun () -> Bfs_ref.run gd ~input:dense_input)
+    (fun () -> Bfs_fast.run gd ~input:dense_input);
+  (* Part-wise pipeline: O(depth + k) rounds over a grid's BFS bands; the
+     active set tracks the pipeline wave instead of all n nodes. *)
+  let side = if short then 32 else 64 in
+  let emb = Gen.grid ~rows:side ~cols:side in
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  let (parent, dist), _ = Prim.bfs_tree g ~root:0 in
+  let depth = Array.fold_left max 0 dist in
+  List.iter
+    (fun k ->
+      let input =
+        Array.init n (fun v ->
+            {
+              Prim.Partwise_program.parent = parent.(v);
+              part = dist.(v) * k / (depth + 1);
+              value = v;
+              op = Prim.Sum;
+            })
+      in
+      row
+        (Printf.sprintf "partwise/grid%dx%d k=%d" side side k)
+        n
+        (fun () -> Pw_ref.run g ~input)
+        (fun () -> Pw_fast.run g ~input))
+    (if short then [ 16; 64 ] else [ 16; 64; 256 ]);
+  output t;
+  pf "(identical = outputs AND all four statistics fields equal — the same\n";
+  pf " bit-identity contract the differential suite test/engine_equiv.ml\n";
+  pf " checks on the full program zoo)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
@@ -857,9 +976,11 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* usage: main [--jobs N] [experiment]        (experiment: e1..e11, f1, f2,
-     micro; default all) *)
+  (* usage: main [--jobs N] [--short] [experiment]   (experiment: e1..e12,
+     f1, f2, micro; default all).  --short shrinks instance sizes for the CI
+     smoke run. *)
   let jobs = ref (Pool.default_jobs ()) in
+  let short = ref false in
   let only = ref None in
   let argc = Array.length Sys.argv in
   let i = ref 1 in
@@ -869,6 +990,7 @@ let () =
       jobs := max 1 (int_of_string Sys.argv.(!i + 1));
       incr i
     | "--jobs" -> invalid_arg "--jobs needs an argument"
+    | "--short" -> short := true
     | name -> only := Some name);
     incr i
   done;
@@ -898,7 +1020,8 @@ let () =
   run "e9" e9;
   run "e10" e10;
   run "f2" f2;
-  run "e11" (e11 ~jobs:!jobs);
+  run "e11" (e11 ~jobs:!jobs ~short:!short);
+  run "e12" (e12 ~short:!short);
   run "micro" micro;
-  write_json ~path:"BENCH_1.json" ~jobs:!jobs ~timings:(List.rev !timings);
+  write_json ~path:"BENCH_2.json" ~jobs:!jobs ~timings:(List.rev !timings);
   pf "\nAll experiments complete.\n"

@@ -18,6 +18,7 @@ type tree_knowledge = {
   depth : int array;
   pi_left : int array;
   size : int array; (* subtree sizes *)
+  root : int; (* the unique node with parent -1 *)
 }
 
 type stats = { rounds : int; messages : int; max_edge_bits : int }
@@ -42,11 +43,7 @@ let learn g (tk : tree_knowledge) ~source ~value stats =
      element that stays within the O(log n)-bit message budget. *)
   let indicator = Array.init n (fun v -> if v = source then value else -1) in
   let maxes, s1 = Prim.subtree_agg g ~parent:tk.parent ~op:Prim.Max ~values:indicator in
-  let root =
-    let r = ref (-1) in
-    Array.iteri (fun v p -> if p = -1 then r := v) tk.parent;
-    !r
-  in
+  let root = tk.root in
   let out, s2 = Prim.broadcast g ~parent:tk.parent ~root ~value:maxes.(root) in
   (out.(0), add_stats (add_stats stats s1) s2)
 
@@ -185,6 +182,19 @@ type local_view = {
   lpi_l : int array;
   lpi_r : int array;
 }
+
+(* Package a Phase-1 local view as tree knowledge; the root is recovered
+   once here rather than re-scanned by every [learn] invocation. *)
+let tk_of_view (lv : local_view) =
+  let root = ref (-1) in
+  Array.iteri (fun v p -> if p = -1 then root := v) lv.lparent;
+  {
+    parent = lv.lparent;
+    depth = lv.ldepth;
+    pi_left = lv.lpi_l;
+    size = lv.lsize;
+    root = !root;
+  }
 
 (* Rotation position of [y] around [x], normalized so the parent edge is at
    0 (the root keeps its rotation's own origin) — node-local. *)
@@ -424,11 +434,7 @@ let lca g (tk : tree_knowledge) ~u ~v =
   in
   let maxes, s = Prim.subtree_agg g ~parent:tk.parent ~op:Prim.Max ~values in
   let stats = add_stats stats s in
-  let root =
-    let r = ref (-1) in
-    Array.iteri (fun x p -> if p = -1 then r := x) tk.parent;
-    !r
-  in
+  let root = tk.root in
   let best, s2 = Prim.broadcast g ~parent:tk.parent ~root ~value:maxes.(root) in
   let stats = add_stats stats s2 in
   (best.(0) mod (n + 1), stats)
@@ -506,9 +512,7 @@ let separator_phase3 g ~rot_orders ~parent ~depth ~root =
   if elected.(root) < 0 then (None, !stats)
   else begin
     let u = elected.(root) / n and v = elected.(root) mod n in
-    let tk =
-      { parent = lv.lparent; depth = lv.ldepth; pi_left = lv.lpi_l; size = lv.lsize }
-    in
+    let tk = tk_of_view lv in
     let marked, s_mark = mark_path g tk ~u ~v in
     bump s_mark;
     (Some ((u, v), marked), !stats)
@@ -560,9 +564,7 @@ type face_membership = { border : bool array; inside : bool array }
 let detect_face g (lv : local_view) ~u ~v =
   let n = Graph.n g in
   let stats = ref no_stats in
-  let tk =
-    { parent = lv.lparent; depth = lv.ldepth; pi_left = lv.lpi_l; size = lv.lsize }
-  in
+  let tk = tk_of_view lv in
   let bump s =
     stats :=
       {
@@ -762,9 +764,7 @@ let spanning_forest g ?parts () =
 
 let reroot g (lv : local_view) ~new_root =
   let n = Graph.n g in
-  let tk =
-    { parent = lv.lparent; depth = lv.ldepth; pi_left = lv.lpi_l; size = lv.lsize }
-  in
+  let tk = tk_of_view lv in
   let pi_r0, stats = learn g tk ~source:new_root ~value:lv.lpi_l.(new_root) no_stats in
   let d_r0, stats = learn g tk ~source:new_root ~value:lv.ldepth.(new_root) stats in
   (* Depth of every node's LCA with the new root: the deepest of its own
@@ -827,9 +827,7 @@ let hidden g (lv : local_view) ~u ~v ~t =
         max_edge_bits = max !stats.max_edge_bits s.max_edge_bits;
       }
   in
-  let tk =
-    { parent = lv.lparent; depth = lv.ldepth; pi_left = lv.lpi_l; size = lv.lsize }
-  in
+  let tk = tk_of_view lv in
   let pi_t_l, s1 = learn g tk ~source:t ~value:lv.lpi_l.(t) no_stats in
   bump s1;
   let pi_t_r, s2 = learn g tk ~source:t ~value:lv.lpi_r.(t) no_stats in

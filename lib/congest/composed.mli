@@ -13,6 +13,8 @@ type tree_knowledge = {
   depth : int array;
   pi_left : int array;
   size : int array;
+  root : int; (** the unique node with parent -1, stored so the composed
+                  subroutines never re-derive it with an O(n) scan *)
 }
 
 type stats = { rounds : int; messages : int; max_edge_bits : int }

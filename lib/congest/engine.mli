@@ -3,7 +3,14 @@
     Nodes execute in lock step; per round, each node may send at most one
     message per incident edge, and every message must fit in the per-edge
     bandwidth (Θ(log n) bits by default).  The engine runs until every node
-    has finished and no message is in flight. *)
+    has finished and no message is in flight.
+
+    [Make] is the event-driven scheduler: it keeps an explicit worklist of
+    active nodes (nodes holding a message or not yet finished), so a round
+    costs O(active nodes + messages in flight) rather than O(n).
+    [Reference.Make] is the original dense scheduler, kept as the oracle of
+    the differential suite: both must produce bit-identical outputs and
+    statistics on every program. *)
 
 open Repro_graph
 
@@ -22,6 +29,10 @@ module type PROGRAM = sig
   (** One synchronous round. *)
 
   val finished : state -> bool
+  (** Quiescence predicate: [true] when the node will take no action on an
+      empty inbox (an incoming message may still wake it up).  Nodes
+      reporting [false] are stepped every round even without messages. *)
+
   val output : state -> output
 end
 
@@ -43,4 +54,18 @@ module Make (P : PROGRAM) : sig
     Graph.t ->
     input:P.input array ->
     P.output array * stats
+end
+
+(** The original O(n)-per-round scheduler, retained as the differential
+    oracle (see test/engine_equiv.ml) and as the baseline of the engine
+    micro-benchmark (E12). *)
+module Reference : sig
+  module Make (P : PROGRAM) : sig
+    val run :
+      ?max_rounds:int ->
+      ?bandwidth:int ->
+      Graph.t ->
+      input:P.input array ->
+      P.output array * stats
+  end
 end

@@ -6,7 +6,18 @@
    aggregation over a global BFS tree.  The part-wise implementation runs in
    O(depth + #parts) rounds — the classic pipelining bound — and is the
    executable counterpart of the shortcut-based Õ(D) black box the charged
-   mode models. *)
+   mode models.
+
+   Every program's [finished] is a *quiescence* predicate: true whenever
+   the node would take no action on an empty inbox, even if it is still
+   waiting for input.  Under the event-driven engine only frontier nodes
+   are stepped, so e.g. BFS flooding costs O(sum of frontier sizes) work
+   instead of O(n * rounds); the message schedule (and hence every
+   statistic) is unchanged, because a quiescent node's step was a no-op.
+   The trade-off: on inputs that deadlock (a disconnected flood, a broken
+   parent array) the engine now returns the partial outputs instead of
+   spinning to Did_not_terminate, so callers must pass well-formed
+   instances — which all in-repo callers do. *)
 
 type op = Sum | Min | Max
 
@@ -58,7 +69,9 @@ module Bfs_program = struct
         (st, out)
     end
 
-  let finished st = st.dist >= 0
+  (* A BFS node only ever acts on message receipt: the root is done after
+     its init sends, and everyone else waits quietly for the wave. *)
+  let finished _ = true
   let output st = (st.parent, st.dist)
 end
 
@@ -134,7 +147,11 @@ module Subtree_program = struct
     end
     else (st, [])
 
-  let finished st = st.reported
+  (* Quiescent once reported, and also while waiting on children reports:
+     [step] reports in the very round [waiting] reaches 0, so a node that
+     still waits only acts on message receipt.  Round 1 (learning the
+     children) must run on every node, hence not-learned => active. *)
+  let finished st = st.reported || (st.learned_children && st.waiting > 0)
   let output st = st.acc
 end
 
@@ -202,7 +219,10 @@ module Ancestor_program = struct
       (st, List.map (fun c -> (c, Down a)) st.children)
     | _ -> (st, [])
 
-  let finished st = st.forwarded
+  (* Quiescent once forwarded, and while waiting for the Down value (the
+     forward happens in the same round the value arrives).  Round 1 must
+     run everywhere to learn the children. *)
+  let finished st = st.forwarded || (st.learned_children && st.acc = None)
   let output st = match st.acc with Some a -> a | None -> assert false
 end
 
@@ -263,7 +283,9 @@ module Broadcast_program = struct
       (st, List.map (fun c -> (c, Value x)) st.children)
     | _ -> (st, [])
 
-  let finished st = st.forwarded
+  (* Same quiescence shape as the downcast: waiting for the value is
+     passive, learning the children (round 1) is not. *)
+  let finished st = st.forwarded || (st.learned_children && st.value = None)
   let output st = match st.value with Some x -> x | None -> assert false
 end
 
@@ -466,7 +488,25 @@ module Partwise_program = struct
       | Finished -> (st, [])
     end
 
-  let finished st = st.phase = Finished
+  (* Quiescent exactly when [step] would be a no-op on an empty inbox:
+     nothing emittable going up, no UpDone/root transition pending, and no
+     queued pair or DownDone to push down.  During the up phase this strips
+     the already-drained subtrees from the active set; during the down
+     phase, the nodes whose streams have not arrived yet. *)
+  let finished st =
+    st.learned_children
+    &&
+    match st.phase with
+    | Finished -> true
+    | Up ->
+      if st.parent >= 0 then
+        emittable st = None
+        && not (all_children_done st && not (pending_up st) && not st.up_done_sent)
+      else not (all_children_done st)
+    | Down ->
+      Queue.is_empty st.down_queue
+      && not (st.down_done_received && not st.down_done_sent)
+
   let output st = match st.answer with Some x -> x | None -> assert false
 end
 

@@ -11,6 +11,50 @@ type op = Sum | Min | Max
 
 val apply : op -> int -> int -> int
 
+(** {2 Engine programs}
+
+    The underlying [Engine.PROGRAM] modules, exposed so that the
+    differential suite (test/engine_equiv.ml) and the engine
+    micro-benchmark (E12) can run the very same programs through both
+    [Engine.Make] and [Engine.Reference.Make].  Their [finished]
+    predicates are quiescence predicates: true whenever a node would take
+    no action on an empty inbox (see prim.ml). *)
+
+module Bfs_program : sig
+  include Engine.PROGRAM with type input = bool and type output = int * int
+end
+
+module Subtree_program : sig
+  type input = { parent : int; value : int; op : op }
+
+  include Engine.PROGRAM with type input := input and type output = int
+end
+
+module Ancestor_program : sig
+  type input = { parent : int; value : int; op : op }
+
+  include Engine.PROGRAM with type input := input and type output = int
+end
+
+module Broadcast_program : sig
+  type input = { parent : int; value : int option }
+
+  include Engine.PROGRAM with type input := input and type output = int
+end
+
+module Exchange_program : sig
+  include
+    Engine.PROGRAM
+      with type input = (int * int) list
+       and type output = (int * int) list
+end
+
+module Partwise_program : sig
+  type input = { parent : int; part : int; value : int; op : op }
+
+  include Engine.PROGRAM with type input := input and type output = int
+end
+
 val bfs_tree :
   ?max_rounds:int ->
   ?bandwidth:int ->

@@ -67,9 +67,9 @@ let build_frontier ?rounds ?pool ~trim ~stop ~guard emb =
   let removed = Array.make n false in
   let pieces = ref [] in
   let levels = ref 0 in
-  let pmap f arr =
+  let pmap ~cost f arr =
     match pool with
-    | Some p -> Repro_util.Pool.map p f arr
+    | Some p -> Repro_util.Pool.map ~cost p f arr
     | None -> Array.map f arr
   in
   let frontier = ref [ Array.init n Fun.id ] in
@@ -78,8 +78,11 @@ let build_frontier ?rounds ?pool ~trim ~stop ~guard emb =
     levels := max !levels !level;
     guard !level;
     let batch = Array.of_list !frontier in
+    (* Parts at a level are node-disjoint: the batch cost is their total
+       node count. *)
+    let cost = Array.fold_left (fun a m -> a + Array.length m) 0 batch in
     let results =
-      pmap
+      pmap ~cost
         (fun members ->
           if stop members then `Piece members
           else `Split (split_part ?rounds ~trim emb members))

@@ -36,9 +36,9 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
   let n = Graph.n g in
   Graph.check_vertex g root;
   (match rounds with Some r -> Rounds.charge_embedding r | None -> ());
-  let pmap f arr =
+  let pmap ~cost f arr =
     match pool with
-    | Some p -> Repro_util.Pool.map p f arr
+    | Some p -> Repro_util.Pool.map ~cost p f arr
     | None -> Array.map f arr
   in
   let st = Join.create g ~root in
@@ -61,9 +61,11 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
     let largest = Array.fold_left (fun a c -> max a (Array.length c)) 0 comps in
     (* Theorem 1 on the node-disjoint collection of components: compute all
        separators; parts run in parallel, so the batch costs the rounds of
-       its heaviest part. *)
+       its heaviest part.  Components are node-disjoint, so the batch's
+       work estimate is simply the number of still-unvisited nodes. *)
+    let cost = Array.fold_left (fun a c -> a + Array.length c) 0 comps in
     let separators =
-      pmap
+      pmap ~cost
         (fun members ->
           if Array.length members <= 3 then
             (* Trivial components: every node is its own separator; skip the
@@ -90,7 +92,7 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
     (* JOIN runs in parallel over components as well: charge the deepest
        iteration count once. *)
     let joins =
-      pmap
+      pmap ~cost
         (fun (members, separator, _, _) ->
           let local = Option.map Rounds.like rounds in
           let iters = Join.join ?rounds:local st ~members ~separator in

@@ -480,13 +480,14 @@ let shrink ?rounds cfg path =
    part order; the output is independent of pool scheduling. *)
 let find_partition ?rounds ?pool emb ~parts =
   let tasks = Array.of_list (List.map Array.of_list parts) in
-  let pmap f arr =
+  let cost = Array.fold_left (fun a m -> a + Array.length m) 0 tasks in
+  let pmap ~cost f arr =
     match pool with
-    | Some p -> Repro_util.Pool.map p f arr
+    | Some p -> Repro_util.Pool.map ~cost p f arr
     | None -> Array.map f arr
   in
   let results =
-    pmap
+    pmap ~cost
       (fun members ->
         if Array.length members = 0 then
           invalid_arg "Separator.find_partition: empty part"

@@ -6,12 +6,17 @@
    then waits for the last completion, so a [map] call costs no spawns —
    domains are spawned once, at [create].
 
+   Claims are chunked: each lock acquisition takes 1/(4*jobs) of the
+   remaining range, so early claims are big (few lock round-trips) and late
+   claims shrink towards single elements (load balance on uneven tasks).
+
    All shared fields are read and written under [mutex]; task bodies run
    outside the lock.  Results land in a per-batch array at the task's own
    index, so output order is input order regardless of scheduling. *)
 
 type t = {
   jobs : int;
+  seq_grain : int; (* batches estimated below this run sequentially *)
   mutex : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
@@ -30,6 +35,8 @@ let no_work (_ : int) = ()
 
 let default_jobs () = min 8 (max 1 (Domain.recommended_domain_count ()))
 
+let default_seq_grain = 16_384
+
 (* Claim-and-run loop shared by workers and the submitting domain.  After a
    task fails, the rest of the batch is drained without running (claims are
    still counted so the waiter can finish). *)
@@ -42,20 +49,26 @@ let drain t =
       Mutex.unlock t.mutex
     end
     else begin
-      let i = t.next in
-      t.next <- t.next + 1;
+      let remaining = t.length - t.next in
+      let lo = t.next in
+      let hi = lo + max 1 (remaining / (4 * t.jobs)) in
+      t.next <- hi;
       let run = t.run_item in
       let skip = t.failure <> None in
       Mutex.unlock t.mutex;
-      let error =
-        if skip then None
-        else match run i with () -> None | exception e -> Some e
-      in
+      let error = ref None in
+      if not skip then begin
+        let i = ref lo in
+        while !error = None && !i < hi do
+          (match run !i with () -> () | exception e -> error := Some e);
+          incr i
+        done
+      end;
       Mutex.lock t.mutex;
-      (match error with
+      (match !error with
       | Some e when t.failure = None -> t.failure <- Some e
       | _ -> ());
-      t.completed <- t.completed + 1;
+      t.completed <- t.completed + (hi - lo);
       if t.completed = t.length then Condition.broadcast t.work_done;
       Mutex.unlock t.mutex
     end
@@ -74,42 +87,64 @@ let rec worker t my_generation =
     worker t generation
   end
 
-let create ~jobs =
+(* Worker domains are spawned lazily, on the first [map] that actually goes
+   parallel: a pool whose every batch falls below [seq_grain] never leaves
+   single-domain execution, so it also never pays the multi-domain GC tax —
+   merely *having* an idle second domain switches the runtime to parallel
+   minor collections. *)
+let create ?(seq_grain = default_seq_grain) ~jobs () =
   let jobs = max 1 jobs in
-  let t =
-    {
-      jobs;
-      mutex = Mutex.create ();
-      work_ready = Condition.create ();
-      work_done = Condition.create ();
-      run_item = no_work;
-      length = 0;
-      next = 0;
-      completed = 0;
-      generation = 0;
-      busy = false;
-      failure = None;
-      quit = false;
-      domains = [||];
-    }
-  in
-  if jobs > 1 then
-    t.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
-  t
+  {
+    jobs;
+    seq_grain = max 0 seq_grain;
+    mutex = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    run_item = no_work;
+    length = 0;
+    next = 0;
+    completed = 0;
+    generation = 0;
+    busy = false;
+    failure = None;
+    quit = false;
+    domains = [||];
+  }
 
 let jobs t = t.jobs
+let seq_grain t = t.seq_grain
 
-let map t f arr =
+(* Single source of truth for the parallel/sequential decision, exposed so
+   callers (the benchmark's E11 table in particular) can report *provably*
+   whether a batch ran on the pool or fell back. *)
+let runs_parallel ?cost t len =
+  t.jobs > 1
+  && (not t.quit)
+  && len > 1
+  && match cost with None -> true | Some c -> c >= t.seq_grain
+
+(* Must be called under [t.mutex].  Freshly spawned workers block on the
+   mutex we hold and then wait for a generation bump. *)
+let ensure_domains t =
+  if Array.length t.domains = 0 && t.jobs > 1 && not t.quit then begin
+    let g = t.generation in
+    t.domains <-
+      Array.init (t.jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t g))
+  end
+
+let map ?cost t f arr =
   let len = Array.length arr in
-  if t.jobs <= 1 || Array.length t.domains = 0 || len <= 1 then Array.map f arr
+  if not (runs_parallel ?cost t len) then Array.map f arr
   else begin
     Mutex.lock t.mutex;
-    if t.busy then begin
-      (* Re-entrant map from inside a task: run sequentially. *)
+    if t.busy || t.quit then begin
+      (* Re-entrant map from inside a task (or a shut-down pool): run
+         sequentially. *)
       Mutex.unlock t.mutex;
       Array.map f arr
     end
     else begin
+      ensure_domains t;
       let results = Array.make len None in
       t.run_item <- (fun i -> results.(i) <- Some (f arr.(i)));
       t.length <- len;
@@ -146,6 +181,6 @@ let shutdown t =
   Array.iter Domain.join t.domains;
   t.domains <- [||]
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?seq_grain ~jobs f =
+  let t = create ?seq_grain ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -15,6 +15,7 @@ let knowledge_of tree =
       depth = Array.init n (Rooted.depth tree);
       pi_left = Array.init n (Rooted.pi_left tree);
       size = Array.init n (Rooted.size tree);
+      root = Rooted.root tree;
     }
 
 let setup ?(spanning = Spanning.Bfs) emb =

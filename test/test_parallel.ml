@@ -9,10 +9,14 @@ open Repro_congest
 open Repro_core
 
 let with_modes f =
-  (* no pool / sequential pool / parallel pool *)
+  (* no pool / sequential pool / parallel pool.  [seq_grain:0] forces the
+     parallel path even on these small test graphs, whose batch costs would
+     otherwise fall below the default grain and run sequentially — the whole
+     point here is to exercise pool scheduling against the sequential
+     reference. *)
   let none = f None in
   let seq = Pool.with_pool ~jobs:1 (fun p -> f (Some p)) in
-  let par = Pool.with_pool ~jobs:4 (fun p -> f (Some p)) in
+  let par = Pool.with_pool ~seq_grain:0 ~jobs:4 (fun p -> f (Some p)) in
   (none, seq, par)
 
 let check_all name eq (none, seq, par) =

@@ -61,7 +61,7 @@ let test_reentrant_map_falls_back () =
         out)
 
 let test_map_after_shutdown_sequential () =
-  let p = Pool.create ~jobs:4 in
+  let p = Pool.create ~jobs:4 () in
   Pool.shutdown p;
   Pool.shutdown p (* idempotent *);
   let out = Pool.map p (fun x -> x * 2) (Array.init 10 Fun.id) in
@@ -70,6 +70,57 @@ let test_map_after_shutdown_sequential () =
 let test_default_jobs_sane () =
   let j = Pool.default_jobs () in
   Alcotest.(check bool) "1 <= default <= 8" true (j >= 1 && j <= 8)
+
+let test_seq_grain_fallback () =
+  Pool.with_pool ~seq_grain:100 ~jobs:4 (fun p ->
+      Alcotest.(check int) "seq_grain" 100 (Pool.seq_grain p);
+      (* Below the grain: provably sequential (runs on the calling domain,
+         in order). *)
+      Alcotest.(check bool) "below grain" false
+        (Pool.runs_parallel ~cost:99 p 50);
+      let trace = ref [] in
+      let out =
+        Pool.map ~cost:99 p
+          (fun x ->
+            trace := x :: !trace;
+            x + 1)
+          (Array.init 50 Fun.id)
+      in
+      Alcotest.(check (list int)) "sequential order" (List.init 50 Fun.id)
+        (List.rev !trace);
+      Alcotest.(check int) "result" 50 out.(49);
+      (* At or above the grain: the pool engages. *)
+      Alcotest.(check bool) "at grain" true (Pool.runs_parallel ~cost:100 p 50);
+      let seq = Pool.map ~cost:99 p (fun x -> x * 3) (Array.init 200 Fun.id) in
+      let par = Pool.map ~cost:100 p (fun x -> x * 3) (Array.init 200 Fun.id) in
+      Alcotest.(check bool) "identical results" true (seq = par);
+      (* No cost estimate: the historical behaviour, always parallel. *)
+      Alcotest.(check bool) "no cost" true (Pool.runs_parallel p 50))
+
+let test_chunked_claims_cover_uneven_batches () =
+  (* Batch sizes around the chunking arithmetic's edges: every index must be
+     claimed exactly once whatever the chunk split. *)
+  Pool.with_pool ~jobs:3 (fun p ->
+      List.iter
+        (fun len ->
+          let hits = Array.make (max 1 len) 0 in
+          let out =
+            Pool.map p
+              (fun i ->
+                hits.(i) <- hits.(i) + 1;
+                i)
+              (Array.init len Fun.id)
+          in
+          Alcotest.(check int) (Printf.sprintf "len %d" len) len
+            (Array.length out);
+          for i = 0 to len - 1 do
+            Alcotest.(check int) (Printf.sprintf "len %d slot %d" len i) i
+              out.(i);
+            Alcotest.(check int)
+              (Printf.sprintf "len %d hit %d" len i)
+              1 hits.(i)
+          done)
+        [ 2; 3; 11; 12; 13; 24; 25; 1000 ])
 
 let suites =
   [
@@ -85,5 +136,8 @@ let suites =
         Alcotest.test_case "map after shutdown" `Quick
           test_map_after_shutdown_sequential;
         Alcotest.test_case "default jobs sane" `Quick test_default_jobs_sane;
+        Alcotest.test_case "seq_grain fallback" `Quick test_seq_grain_fallback;
+        Alcotest.test_case "chunked claims cover uneven batches" `Quick
+          test_chunked_claims_cover_uneven_batches;
       ] );
   ]
