@@ -1,4 +1,4 @@
-(* Benchmark harness: regenerates every experiment table (E1..E12) and figure
+(* Benchmark harness: regenerates every experiment table (E1..E13) and figure
    series (F1, F2) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
    micro-benchmarks of the core routines.
 
@@ -21,7 +21,7 @@ let section title = pf "\n######## %s ########\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable recording: every table printed by an experiment is  *)
-(* also captured, and the whole run is dumped to BENCH_2.json.          *)
+(* also captured, and the whole run is dumped to BENCH_3.json.          *)
 (* ------------------------------------------------------------------ *)
 
 let current_exp = ref "-"
@@ -932,6 +932,121 @@ let e12 ~short () =
   pf " checks on the full program zoo)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E13: collective batching — the serial one-run-per-scalar oracle vs   *)
+(* the batched pipelined collectives behind the composed subroutines.   *)
+(* ------------------------------------------------------------------ *)
+
+let e13 ~short () =
+  section "E13  Collective batching: engine runs & rounds";
+  pf "expected: bit-identical outputs, >=3x fewer engine invocations and\n";
+  pf " fewer executed rounds for the batched separator pipeline\n";
+  let t =
+    Table.create ~title:"E13a separator_phase3: serial oracle vs batched"
+      [
+        "family"; "n"; "mode"; "engine runs"; "collectives"; "rounds";
+        "messages"; "identical";
+      ]
+  in
+  Table.set_align t 0 Table.Left;
+  Table.set_align t 2 Table.Left;
+  let acct = ref None in
+  List.iter
+    (fun (seed, n) ->
+      let emb = Gen.stacked_triangulation ~seed ~n () in
+      let g = Embedded.graph emb in
+      let root = Embedded.outer emb in
+      let parent = Spanning.make Spanning.Bfs g ~root in
+      let tree = Rooted.build ~rot:(Embedded.rot emb) ~root parent in
+      let nn = Graph.n g in
+      let rot_orders = Array.init nn (Rotation.order (Embedded.rot emb)) in
+      let depth = Array.init nn (Rooted.depth tree) in
+      let sep, st = Composed.separator_phase3 g ~rot_orders ~parent ~depth ~root in
+      let sep', st' =
+        Composed.Reference.separator_phase3 g ~rot_orders ~parent ~depth ~root
+      in
+      let identical = sep = sep' in
+      (* The charged accountant carries the execution observability too. *)
+      let d = Array.fold_left max 1 depth in
+      let a =
+        match !acct with
+        | Some a -> a
+        | None ->
+          let a = Rounds.create ~n:nn ~d () in
+          acct := Some a;
+          a
+      in
+      Rounds.note_exec a st;
+      let row mode (s : Composed.stats) =
+        Table.add_row t
+          [
+            Printf.sprintf "tri/seed%d" seed;
+            Table.fmt_int n;
+            mode;
+            Table.fmt_int s.Composed.engine_runs;
+            Table.fmt_int s.Composed.collectives;
+            Table.fmt_int s.Composed.rounds;
+            Table.fmt_int s.Composed.messages;
+            (if identical then "yes" else "NO");
+          ]
+      in
+      row "serial" st';
+      row "batched" st)
+    (if short then [ (3, 120) ] else [ (3, 120); (5, 240); (7, 480) ]);
+  output t;
+  Option.iter
+    (fun a ->
+      pf "(accountant observability: %d engine runs, %d collectives)\n"
+        (Rounds.engine_runs a) (Rounds.collectives a))
+    !acct;
+  let t2 =
+    Table.create ~title:"E13b k-slot learn: one pipelined run vs k serial learns"
+      [
+        "tree"; "n"; "k"; "batched rounds"; "serial rounds"; "speedup";
+        "batched runs"; "serial runs";
+      ]
+  in
+  Table.set_align t2 0 Table.Left;
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let (parent, _), _ = Prim.bfs_tree g ~root:0 in
+      let ctx = Collective.create g ~parent ~root:0 in
+      List.iter
+        (fun k ->
+          let slots = Array.init k (fun i -> (1 + (i mod (n - 1)), i)) in
+          Collective.reset ctx;
+          let _ = Collective.learn_batch ctx slots in
+          let b = Collective.tally ctx in
+          Collective.reset ctx;
+          Array.iter
+            (fun (source, value) ->
+              ignore (Collective.learn ctx ~source ~value))
+            slots;
+          let s = Collective.tally ctx in
+          Table.add_row t2
+            [
+              name;
+              Table.fmt_int n;
+              Table.fmt_int k;
+              Table.fmt_int b.Collective.rounds;
+              Table.fmt_int s.Collective.rounds;
+              Printf.sprintf "%.1fx"
+                (float_of_int s.Collective.rounds
+                /. float_of_int (max 1 b.Collective.rounds));
+              Table.fmt_int b.Collective.engine_runs;
+              Table.fmt_int s.Collective.engine_runs;
+            ])
+        (if short then [ 16; 64 ] else [ 16; 64; 256 ]))
+    [
+      ("star300", Embedded.graph (Gen.star 300));
+      ("grid32x32", Embedded.graph (Gen.grid ~rows:32 ~cols:32));
+    ];
+  output t2;
+  pf "(the batched run pays O(depth + k) rounds; k serial learns pay\n";
+  pf " k * O(depth) across 2k engine runs — the pipelining of Lemma 13's\n";
+  pf " \"constant number of broadcasts\", made executable)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -976,7 +1091,7 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* usage: main [--jobs N] [--short] [experiment]   (experiment: e1..e12,
+  (* usage: main [--jobs N] [--short] [experiment]   (experiment: e1..e13,
      f1, f2, micro; default all).  --short shrinks instance sizes for the CI
      smoke run. *)
   let jobs = ref (Pool.default_jobs ()) in
@@ -1022,6 +1137,7 @@ let () =
   run "f2" f2;
   run "e11" (e11 ~jobs:!jobs ~short:!short);
   run "e12" (e12 ~short:!short);
+  run "e13" (e13 ~short:!short);
   run "micro" micro;
-  write_json ~path:"BENCH_2.json" ~jobs:!jobs ~timings:(List.rev !timings);
+  write_json ~path:"BENCH_3.json" ~jobs:!jobs ~timings:(List.rev !timings);
   pf "\nAll experiments complete.\n"

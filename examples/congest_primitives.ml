@@ -77,7 +77,22 @@ let () =
       u v size stats.Composed.rounds stats.Composed.messages
   | None, _ -> print_endline "\n(no balanced face — charged phases 4/5 apply)");
 
-  (* 6. The charged model: what the deterministic-shortcut black box of the
+  (* 6. The collective layer the composed subroutines are built on: one ctx
+     per communication tree, and k scalar collectives batched into a single
+     pipelined O(depth + k)-round engine run. *)
+  let ctx = Collective.create gt ~parent ~root in
+  let k = 8 in
+  let slots = Array.init k (fun i -> ((i * 37) mod Graph.n gt, 100 + i)) in
+  let learned = Collective.learn_batch ctx slots in
+  Array.iteri (fun i (_, x) -> assert (learned.(i) = x)) slots;
+  let t = Collective.tally ctx in
+  Printf.printf
+    "\ncollective layer: %d scalar learns in %d engine run (%d rounds);\n" k
+    t.Collective.engine_runs t.Collective.rounds;
+  Printf.printf "  serial cost would be 2k = %d runs of ~depth rounds each\n"
+    (2 * k);
+
+  (* 7. The charged model: what the deterministic-shortcut black box of the
      paper costs for the same operation. *)
   let d = Algo.diameter g in
   let rounds = Rounds.create ~n ~d () in

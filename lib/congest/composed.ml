@@ -7,6 +7,22 @@
    and the returned statistics are the sums of genuinely executed rounds,
    messages and bandwidth maxima.
 
+   Communication goes through the collective layer ([Collective]): each
+   subroutine builds one communication-tree context and issues *batched*
+   collectives against it, so the k scalar values a subroutine needs to
+   make global (endpoint positions, sizes, the face-decision data, ...)
+   ride a single pipelined engine run of O(depth + k) rounds instead of k
+   serial convergecast+broadcast pairs.  The choreography itself is
+   written once, against a small [comms] vocabulary, and instantiated
+   twice:
+
+   - the public API binds it to the batched [Collective] context;
+   - [Reference] binds it to the serial pre-refactor choreography (one
+     engine run per scalar hop) and is kept as the oracle for the
+     differential suite (test/test_collective.ml): both instantiations
+     must produce bit-identical outputs, while the [engine_runs] counter
+     exposes the batching win.
+
    Inputs follow the distributed representation of a spanning tree: each
    node locally knows its parent, depth, LEFT/RIGHT order positions and the
    size of its subtree (so its LEFT interval is [pi_l, pi_l + size)). *)
@@ -21,31 +37,143 @@ type tree_knowledge = {
   root : int; (* the unique node with parent -1 *)
 }
 
-type stats = { rounds : int; messages : int; max_edge_bits : int }
+type stats = Collective.stats = {
+  rounds : int;
+  messages : int;
+  max_edge_bits : int;
+  total_bits : int;
+  engine_runs : int;
+  collectives : int;
+}
 
-let no_stats = { rounds = 0; messages = 0; max_edge_bits = 0 }
+(* ------------------------------------------------------------------ *)
+(* The communication vocabulary the subroutine cores are written in.    *)
+(* Two bindings exist: batched (the public API) and serial (the         *)
+(* pre-refactor oracle, [Reference]).                                   *)
+(* ------------------------------------------------------------------ *)
 
-let add_stats a (b : Engine.stats) =
+type comms = {
+  learn_batch : (int * int) array -> int array;
+      (* k (source, value) scalar learns; every node ends up knowing all
+         k values.  Batched: one pipelined run.  Serial: one
+         convergecast + broadcast pair per scalar. *)
+  agg_batch : op:Prim.op -> int array array -> int array;
+      (* k whole-graph reductions, results known everywhere. *)
+  subtree : op:Prim.op -> int array -> int array;
+  ancestor : op:Prim.op -> int array -> int array;
+  exchange : (int * int) list array -> (int * int) list array;
+  partwise :
+    bcast_parent:int array ->
+    op:Prim.op ->
+    parts:int array ->
+    int array array ->
+    int array array;
+      (* k part-wise aggregations sharing one partition. *)
+  bfs : root:int -> int array * int array;
+  bfs_forest : Graph.t -> roots:bool array -> int array * int array;
+      (* takes the graph explicitly: Borůvka floods the chosen forest
+         edges, not the ctx graph. *)
+}
+
+(* The batched binding: everything runs against one [Collective] ctx,
+   which also accumulates the statistics. *)
+let batched_comms ctx =
   {
-    rounds = a.rounds + b.Engine.rounds;
-    messages = a.messages + b.Engine.messages;
-    max_edge_bits = max a.max_edge_bits b.Engine.max_edge_bits;
+    learn_batch = Collective.learn_batch ctx;
+    agg_batch = (fun ~op values -> Collective.agg_batch ctx ~op values);
+    subtree = (fun ~op values -> Collective.subtree_agg ctx ~op ~values);
+    ancestor = (fun ~op values -> Collective.ancestor_agg ctx ~op ~values);
+    exchange = (fun sends -> Collective.exchange ctx ~sends);
+    partwise =
+      (fun ~bcast_parent ~op ~parts values ->
+        Collective.partwise_batch ctx ~bcast_parent ~op ~parts values);
+    bfs = (fun ~root -> Collective.bfs_tree ctx ~root);
+    bfs_forest =
+      (fun graph ~roots ->
+        let out, s = Prim.bfs_forest graph ~roots in
+        Collective.record ctx s;
+        out);
   }
 
-(* Every node learns an O(log n)-bit value held by [source]: one broadcast
-   over the tree. *)
-let learn g (tk : tree_knowledge) ~source ~value stats =
-  (* Broadcasting requires the value at the tree root; chain two broadcasts:
-     (1) convergecast the value to the root (as a max over an indicator),
-     (2) broadcast it down.  Both are real engine runs. *)
+(* The serial binding: the pre-refactor choreography, one engine run per
+   scalar hop, kept as the differential oracle.  Each learn rebuilds its
+   own O(n) indicator array, exactly as the monolith did. *)
+let serial_comms g acc ~parent ~root =
   let n = Graph.n g in
-  (* Values are all non-negative (orders, sizes), so -1 is a safe bottom
-     element that stays within the O(log n)-bit message budget. *)
-  let indicator = Array.init n (fun v -> if v = source then value else -1) in
-  let maxes, s1 = Prim.subtree_agg g ~parent:tk.parent ~op:Prim.Max ~values:indicator in
-  let root = tk.root in
-  let out, s2 = Prim.broadcast g ~parent:tk.parent ~root ~value:maxes.(root) in
-  (out.(0), add_stats (add_stats stats s1) s2)
+  let bump s = acc := Collective.add !acc (Collective.of_engine s) in
+  {
+    learn_batch =
+      Array.map (fun (source, value) ->
+          (* Values are all non-negative (orders, sizes), so -1 is a safe
+             bottom element within the O(log n)-bit budget. *)
+          let indicator =
+            Array.init n (fun x -> if x = source then value else -1)
+          in
+          let maxes, s1 =
+            Prim.subtree_agg g ~parent ~op:Prim.Max ~values:indicator
+          in
+          bump s1;
+          let out, s2 = Prim.broadcast g ~parent ~root ~value:maxes.(root) in
+          bump s2;
+          out.(0));
+    agg_batch =
+      (fun ~op values ->
+        Array.map
+          (fun vals ->
+            let maxes, s1 = Prim.subtree_agg g ~parent ~op ~values:vals in
+            bump s1;
+            let out, s2 = Prim.broadcast g ~parent ~root ~value:maxes.(root) in
+            bump s2;
+            out.(0))
+          values);
+    subtree =
+      (fun ~op values ->
+        let out, s = Prim.subtree_agg g ~parent ~op ~values in
+        bump s;
+        out);
+    ancestor =
+      (fun ~op values ->
+        let out, s = Prim.ancestor_agg g ~parent ~op ~values in
+        bump s;
+        out);
+    exchange =
+      (fun sends ->
+        let out, s = Prim.exchange g ~sends in
+        bump s;
+        out);
+    partwise =
+      (fun ~bcast_parent ~op ~parts values ->
+        Array.map
+          (fun vals ->
+            let out, s =
+              Prim.partwise g ~parent:bcast_parent ~op ~parts ~values:vals
+            in
+            bump s;
+            out)
+          values);
+    bfs =
+      (fun ~root ->
+        let out, s = Prim.bfs_tree g ~root in
+        bump s;
+        out);
+    bfs_forest =
+      (fun graph ~roots ->
+        let out, s = Prim.bfs_forest graph ~roots in
+        bump s;
+        out);
+  }
+
+(* Run a subroutine core against the batched collective layer and return
+   its accumulated tally. *)
+let with_batched g ~parent ~root f =
+  let ctx = Collective.create g ~parent ~root in
+  let out = f (batched_comms ctx) in
+  (out, Collective.tally ctx)
+
+let with_serial g ~parent ~root f =
+  let acc = ref Collective.no_stats in
+  let out = f (serial_comms g acc ~parent ~root) in
+  (out, !acc)
 
 (* ------------------------------------------------------------------ *)
 (* DFS-ORDER-PROBLEM (Lemma 11): fragment merging with depth halving.   *)
@@ -61,33 +189,19 @@ let learn g (tk : tree_knowledge) ~source ~value stats =
 (* with one part-wise aggregation.  Fragment depths halve each phase,   *)
 (* so O(log n) phases suffice.                                          *)
 (*                                                                      *)
-(* All communication is executed in the engine: per phase, three        *)
-(* one-round neighbour exchanges and three part-wise broadcasts.  With  *)
-(* the tree-pipelined part-wise fallback a phase costs O(depth + k)     *)
-(* executed rounds (k = live fragments); the shortcut black box of the  *)
-(* paper would make it Õ(D).                                            *)
+(* All communication is executed in the engine: per phase, four         *)
+(* one-round neighbour exchanges and ONE part-wise broadcast carrying   *)
+(* all three payloads (delta_l, delta_r, new fragment id) as batch      *)
+(* slots.  With the tree-pipelined part-wise fallback a phase costs     *)
+(* O(depth + k) executed rounds (k = live fragments); the shortcut      *)
+(* black box of the paper would make it Õ(D).                           *)
 (* ------------------------------------------------------------------ *)
 
 type orders = { pi_left : int array; pi_right : int array }
 
-let dfs_orders g ~(children : int array array) ~(parent : int array)
-    ~(depth : int array) ~root =
+let dfs_orders_core comms g ~(children : int array array) ~(parent : int array)
+    ~(depth : int array) ~root ~(size : int array) ~(bfs_parent : int array) =
   let n = Graph.n g in
-  let stats = ref no_stats in
-  let run_and_record f =
-    let out, s = f () in
-    stats := add_stats !stats s;
-    out
-  in
-  (* Phase 0: subtree sizes (one convergecast). *)
-  let size =
-    run_and_record (fun () ->
-        Prim.subtree_agg g ~parent ~op:Prim.Sum ~values:(Array.make n 1))
-  in
-  (* A communication tree for the broadcasts: BFS, so the pipelined
-     part-wise aggregation pays depth_BFS, not depth_T. *)
-  let (bfs_parent, _), s0 = Prim.bfs_tree g ~root in
-  stats := add_stats !stats s0;
   let frag = Array.init n Fun.id in
   let fdepth = Array.copy depth in
   let rel_l = Array.make n 0 in
@@ -102,7 +216,7 @@ let dfs_orders g ~(children : int array array) ~(parent : int array)
     let sends =
       Array.init n (fun v -> if joining v then [ (parent.(v), 1) ] else [])
     in
-    let pings = run_and_record (fun () -> Prim.exchange g ~sends) in
+    let pings = comms.exchange sends in
     (* 2. Each parent z answers every joining child with its final relative
        LEFT/RIGHT positions and z's fragment id — all z-local data. *)
     let answers_l = Array.make n [] in
@@ -135,23 +249,26 @@ let dfs_orders g ~(children : int array array) ~(parent : int array)
             answers_f.(z) <- (child, frag.(z)) :: answers_f.(z))
           received)
       pings;
-    let got_l = run_and_record (fun () -> Prim.exchange g ~sends:answers_l) in
-    let got_r = run_and_record (fun () -> Prim.exchange g ~sends:answers_r) in
-    let got_f = run_and_record (fun () -> Prim.exchange g ~sends:answers_f) in
+    let got_l = comms.exchange answers_l in
+    let got_r = comms.exchange answers_r in
+    let got_f = comms.exchange answers_f in
     (* 3. Broadcast (delta_l, delta_r, new fragment id) within each OLD
-       fragment: three part-wise MAX aggregations, joining roots holding
-       the payload and everyone else -1 (deltas are >= 0). *)
+       fragment: one part-wise MAX aggregation with three batch slots,
+       joining roots holding the payloads and everyone else -1 (deltas
+       are >= 0). *)
     let pick got v = match got.(v) with [ (_, x) ] -> x | _ -> 0 in
-    let broadcast payload =
-      let values =
-        Array.init n (fun v -> if frag.(v) = v then payload v else -1)
-      in
-      run_and_record (fun () ->
-          Prim.partwise g ~parent:bfs_parent ~op:Prim.Max ~parts:frag ~values)
+    let payload_values payload =
+      Array.init n (fun v -> if frag.(v) = v then payload v else -1)
     in
-    let bl = broadcast (fun v -> if joining v then pick got_l v else 0) in
-    let br = broadcast (fun v -> if joining v then pick got_r v else 0) in
-    let bf = broadcast (fun v -> if joining v then pick got_f v else frag.(v)) in
+    let bcast =
+      comms.partwise ~bcast_parent:bfs_parent ~op:Prim.Max ~parts:frag
+        [|
+          payload_values (fun v -> if joining v then pick got_l v else 0);
+          payload_values (fun v -> if joining v then pick got_r v else 0);
+          payload_values (fun v -> if joining v then pick got_f v else frag.(v));
+        |]
+    in
+    let bl = bcast.(0) and br = bcast.(1) and bf = bcast.(2) in
     (* 4. Local updates. *)
     for v = 0 to n - 1 do
       rel_l.(v) <- rel_l.(v) + bl.(v);
@@ -160,7 +277,24 @@ let dfs_orders g ~(children : int array array) ~(parent : int array)
       fdepth.(v) <- fdepth.(v) / 2
     done
   done;
-  ({ pi_left = rel_l; pi_right = rel_r }, !phases, !stats)
+  ({ pi_left = rel_l; pi_right = rel_r }, !phases)
+
+(* Phase 0 of the order computation: subtree sizes (one convergecast) and
+   a BFS communication tree, so the pipelined part-wise aggregation pays
+   depth_BFS, not depth_T.  Callers that already hold both (phase1) pass
+   them in instead of paying the runs again. *)
+let dfs_orders_run comms g ~children ~parent ~depth ~root =
+  let n = Graph.n g in
+  let size = comms.subtree ~op:Prim.Sum (Array.make n 1) in
+  let bfs_parent, _ = comms.bfs ~root in
+  dfs_orders_core comms g ~children ~parent ~depth ~root ~size ~bfs_parent
+
+let dfs_orders g ~children ~parent ~depth ~root =
+  let (orders, phases), st =
+    with_batched g ~parent ~root (fun comms ->
+        dfs_orders_run comms g ~children ~parent ~depth ~root)
+  in
+  (orders, phases, st)
 
 (* ------------------------------------------------------------------ *)
 (* WEIGHTS-PROBLEM (Lemma 12), executed.                                *)
@@ -168,8 +302,8 @@ let dfs_orders g ~(children : int array array) ~(parent : int array)
 (* After Phase 1 every node holds: parent, depth, subtree size, its     *)
 (* LEFT/RIGHT positions and its full clockwise rotation.  The weight of *)
 (* a real fundamental edge e = uv (Definition 2) is then computable by  *)
-(* its two endpoints from six one-round exchanges across e itself:      *)
-(* positions/depth/size both ways, the case decided at the deeper       *)
+(* its two endpoints from five one-round exchanges across e itself:     *)
+(* positions/depth both ways, the case decided at the deeper            *)
 (* endpoint, and the far endpoint's locally-computed p-term.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -184,7 +318,7 @@ type local_view = {
 }
 
 (* Package a Phase-1 local view as tree knowledge; the root is recovered
-   once here rather than re-scanned by every [learn] invocation. *)
+   once here rather than re-scanned by every collective. *)
 let tk_of_view (lv : local_view) =
   let root = ref (-1) in
   Array.iteri (fun v p -> if p = -1 then root := v) lv.lparent;
@@ -273,14 +407,8 @@ let p_term_local lv ~case ~at_ancestor_end x ~other ~w1 =
     cs;
   !total
 
-let weights g (lv : local_view) =
+let weights_core comms g (lv : local_view) =
   let n = Graph.n g in
-  let stats = ref no_stats in
-  let run f =
-    let out, s = f () in
-    stats := add_stats !stats s;
-    out
-  in
   (* Fundamental edges, as seen locally: graph neighbours that are not the
      parent and not a child. *)
   let fundamental v =
@@ -288,10 +416,10 @@ let weights g (lv : local_view) =
     |> List.filter (fun u -> lv.lparent.(v) <> u && lv.lparent.(u) <> v)
   in
   let swap_all field =
-    let sends = Array.init n (fun v -> List.map (fun u -> (u, field v)) (fundamental v)) in
-    let got = run (fun () -> Prim.exchange g ~sends) in
-    (* received.(v) = assoc list from neighbour to its field value *)
-    got
+    let sends =
+      Array.init n (fun v -> List.map (fun u -> (u, field v)) (fundamental v))
+    in
+    comms.exchange sends
   in
   let got_pl = swap_all (fun v -> lv.lpi_l.(v)) in
   let got_pr = swap_all (fun v -> lv.lpi_r.(v)) in
@@ -317,7 +445,7 @@ let weights g (lv : local_view) =
             if lv.lpi_l.(v) < look got_pl v u then Some (u, case_of v u) else None)
           (fundamental v))
   in
-  let got_case = run (fun () -> Prim.exchange g ~sends:case_sends) in
+  let got_case = comms.exchange case_sends in
   (* The far (v) endpoint answers with its p-term for that case. *)
   let p_sends =
     Array.init n (fun x ->
@@ -326,7 +454,7 @@ let weights g (lv : local_view) =
             (u_end, p_term_local lv ~case ~at_ancestor_end:false x ~other:u_end ~w1:(-1)))
           got_case.(x))
   in
-  let got_p = run (fun () -> Prim.exchange g ~sends:p_sends) in
+  let got_p = comms.exchange p_sends in
   (* Now every "u" endpoint computes the weight locally. *)
   let results = ref [] in
   for u = 0 to n - 1 do
@@ -356,7 +484,12 @@ let weights g (lv : local_view) =
         end)
       (fundamental u)
   done;
-  (!results, !stats)
+  !results
+
+let weights g (lv : local_view) =
+  let tk = tk_of_view lv in
+  with_batched g ~parent:tk.parent ~root:tk.root (fun comms ->
+      weights_core comms g lv)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1 (Section 5.3), executed end to end: from purely local data   *)
@@ -364,7 +497,7 @@ let weights g (lv : local_view) =
 (* LEFT/RIGHT orders — via subtree aggregation and fragment merging.    *)
 (* ------------------------------------------------------------------ *)
 
-let phase1 g ~(rot_orders : int array array) ~(parent : int array)
+let phase1_core comms g ~(rot_orders : int array array) ~(parent : int array)
     ~(depth : int array) ~root =
   let n = Graph.n g in
   (* Tree children in clockwise order starting after the parent edge —
@@ -388,18 +521,13 @@ let phase1 g ~(rot_orders : int array array) ~(parent : int array)
         done;
         Array.of_list !out)
   in
-  let stats = ref no_stats in
-  let size, s1 =
-    Prim.subtree_agg g ~parent ~op:Prim.Sum ~values:(Array.make n 1)
+  (* One subtree aggregation and one BFS tree, shared with the order
+     computation (the monolith paid the size convergecast twice). *)
+  let size = comms.subtree ~op:Prim.Sum (Array.make n 1) in
+  let bfs_parent, _ = comms.bfs ~root in
+  let orders, _ =
+    dfs_orders_core comms g ~children ~parent ~depth ~root ~size ~bfs_parent
   in
-  stats := add_stats !stats s1;
-  let orders, _, s2 = dfs_orders g ~children ~parent ~depth ~root in
-  stats :=
-    {
-      rounds = !stats.rounds + s2.rounds;
-      messages = !stats.messages + s2.messages;
-      max_edge_bits = max !stats.max_edge_bits s2.max_edge_bits;
-    };
   ( {
       lparent = parent;
       ldepth = depth;
@@ -409,21 +537,28 @@ let phase1 g ~(rot_orders : int array array) ~(parent : int array)
       lpi_l = orders.pi_left;
       lpi_r = orders.pi_right;
     },
-    !stats )
+    bfs_parent )
+
+let phase1 g ~rot_orders ~parent ~depth ~root =
+  let (lv, _), st =
+    with_batched g ~parent ~root (fun comms ->
+        phase1_core comms g ~rot_orders ~parent ~depth ~root)
+  in
+  (lv, st)
 
 (* Is [x] an ancestor of [z]?  Purely local once pi_left(z) is known. *)
 let is_ancestor_local (tk : tree_knowledge) ~anc ~desc_pi =
   desc_pi >= tk.pi_left.(anc) && desc_pi < tk.pi_left.(anc) + tk.size.(anc)
 
 (* LCA-PROBLEM (Lemma 14): every node learns the LCA of u and v; executed
-   as two broadcasts plus one aggregation. *)
-let lca g (tk : tree_knowledge) ~u ~v =
-  let stats = no_stats in
-  let pi_u, stats = learn g tk ~source:u ~value:tk.pi_left.(u) stats in
-  let pi_v, stats = learn g tk ~source:v ~value:tk.pi_left.(v) stats in
+   as one two-slot batched learn (the endpoint positions) plus one
+   aggregation.  Returns the learned positions too — every composed
+   caller needs them next. *)
+let lca_core comms n (tk : tree_knowledge) ~u ~v =
+  let got = comms.learn_batch [| (u, tk.pi_left.(u)); (v, tk.pi_left.(v)) |] in
+  let pi_u = got.(0) and pi_v = got.(1) in
   (* Each node checks locally whether it is a common ancestor; the LCA is
      the deepest one — one MAX aggregation over (depth, id). *)
-  let n = Graph.n g in
   let enc x d = (d * (n + 1)) + x in
   let values =
     Array.init n (fun x ->
@@ -432,32 +567,27 @@ let lca g (tk : tree_knowledge) ~u ~v =
         then enc x tk.depth.(x)
         else -1)
   in
-  let maxes, s = Prim.subtree_agg g ~parent:tk.parent ~op:Prim.Max ~values in
-  let stats = add_stats stats s in
-  let root = tk.root in
-  let best, s2 = Prim.broadcast g ~parent:tk.parent ~root ~value:maxes.(root) in
-  let stats = add_stats stats s2 in
-  (best.(0) mod (n + 1), stats)
+  let best = (comms.agg_batch ~op:Prim.Max [| values |]).(0) in
+  (best mod (n + 1), pi_u, pi_v)
+
+let lca g (tk : tree_knowledge) ~u ~v =
+  with_batched g ~parent:tk.parent ~root:tk.root (fun comms ->
+      let w, _, _ = lca_core comms (Graph.n g) tk ~u ~v in
+      w)
 
 (* MARK-PATH-PROBLEM (Lemma 13): each node learns whether it lies on the
    tree path between u and v.  With the Phase-1 data this needs only the
-   two endpoint positions and the LCA depth: x is on the path iff x is an
-   ancestor of u or of v, and the LCA is an ancestor of x. *)
-let mark_path g (tk : tree_knowledge) ~u ~v =
-  let stats = no_stats in
-  let pi_u, stats = learn g tk ~source:u ~value:tk.pi_left.(u) stats in
-  let pi_v, stats = learn g tk ~source:v ~value:tk.pi_left.(v) stats in
-  let w, stats' = lca g tk ~u ~v in
-  let stats =
-    {
-      rounds = stats.rounds + stats'.rounds;
-      messages = stats.messages + stats'.messages;
-      max_edge_bits = max stats.max_edge_bits stats'.max_edge_bits;
-    }
+   two endpoint positions and the LCA data: x is on the path iff x is an
+   ancestor of u or of v, and the LCA is an ancestor of x.  The LCA's
+   position and size ride one batched learn; [extra] lets callers
+   (detect-face, hidden) piggyback their own scalars on that run. *)
+let mark_path_core comms n (tk : tree_knowledge) ~u ~v ~extra =
+  let w, pi_u, pi_v = lca_core comms n tk ~u ~v in
+  let slots =
+    Array.append [| (w, tk.pi_left.(w)); (w, tk.size.(w)) |] extra
   in
-  let pi_w, stats = learn g tk ~source:w ~value:tk.pi_left.(w) stats in
-  let size_w, stats = learn g tk ~source:w ~value:tk.size.(w) stats in
-  let n = Graph.n g in
+  let got = comms.learn_batch slots in
+  let pi_w = got.(0) and size_w = got.(1) in
   let marked =
     Array.init n (fun x ->
         (is_ancestor_local tk ~anc:x ~desc_pi:pi_u
@@ -465,58 +595,11 @@ let mark_path g (tk : tree_knowledge) ~u ~v =
         && tk.pi_left.(x) >= pi_w
         && tk.pi_left.(x) < pi_w + size_w)
   in
-  (marked, stats)
+  (marked, Array.sub got 2 (Array.length extra))
 
-(* ------------------------------------------------------------------ *)
-(* End-to-end executed separator, Phase 3 case (Section 5.3): when some *)
-(* real fundamental face has weight in [n/3, 2n/3], its border path is  *)
-(* a cycle separator (Lemma 5).  Pipeline: Phase 1, executed weights, a *)
-(* RANGE aggregation to elect an in-range edge, and the marking of its  *)
-(* border path.  Returns None when no face is in range (the remaining   *)
-(* phases are run in the charged model by Repro_core.Separator).        *)
-(* ------------------------------------------------------------------ *)
-
-let separator_phase3 g ~rot_orders ~parent ~depth ~root =
-  let n = Graph.n g in
-  let lv, s_phase1 = phase1 g ~rot_orders ~parent ~depth ~root in
-  let edge_weights, s_weights = weights g lv in
-  let stats = ref s_phase1 in
-  let bump s =
-    stats :=
-      {
-        rounds = !stats.rounds + s.rounds;
-        messages = !stats.messages + s.messages;
-        max_edge_bits = max !stats.max_edge_bits s.max_edge_bits;
-      }
-  in
-  bump s_weights;
-  (* RANGE-PROBLEM: elect one in-range edge, known to everyone — one
-     part-wise MAX over the single whole-graph part, with the edge encoded
-     into an identifier held by its first endpoint. *)
-  let (bfs_parent, _), s_bfs = Prim.bfs_tree g ~root in
-  bump (add_stats no_stats s_bfs);
-  let encode (u, v) = (u * n) + v in
-  let candidate =
-    Array.make n (-1) (* per node: its best in-range incident edge *)
-  in
-  List.iter
-    (fun ((u, v), w) ->
-      if 3 * w >= n && 3 * w <= 2 * n then
-        candidate.(u) <- max candidate.(u) (encode (u, v)))
-    edge_weights;
-  let elected, s_range =
-    Prim.partwise g ~parent:bfs_parent ~op:Prim.Max ~parts:(Array.make n 0)
-      ~values:candidate
-  in
-  bump (add_stats no_stats s_range);
-  if elected.(root) < 0 then (None, !stats)
-  else begin
-    let u = elected.(root) / n and v = elected.(root) mod n in
-    let tk = tk_of_view lv in
-    let marked, s_mark = mark_path g tk ~u ~v in
-    bump s_mark;
-    (Some ((u, v), marked), !stats)
-  end
+let mark_path g (tk : tree_knowledge) ~u ~v =
+  with_batched g ~parent:tk.parent ~root:tk.root (fun comms ->
+      fst (mark_path_core comms (Graph.n g) tk ~u ~v ~extra:[||]))
 
 (* ------------------------------------------------------------------ *)
 (* DETECT-FACE-PROBLEM (Lemma 15), executed: every node learns whether  *)
@@ -526,9 +609,9 @@ let separator_phase3 g ~rot_orders ~parent ~depth ~root =
 (* The endpoints compute locally (rotation + subtree sizes) the          *)
 (* interval of LEFT positions taken by their descendants hanging inside *)
 (* the face (the paper's I(u), I(v)); these intervals plus the          *)
-(* endpoints' positions, the case and the LCA data are broadcast — a   *)
-(* constant number of engine runs — after which every node decides      *)
-(* membership with Remark 1's local tests.                              *)
+(* endpoints' positions, the case and the LCA data all ride the         *)
+(* mark-path batch — three engine runs in total — after which every     *)
+(* node decides membership with Remark 1's local tests.                 *)
 (* ------------------------------------------------------------------ *)
 
 (* Interval of LEFT (or RIGHT) positions of the descendants of [x] hanging
@@ -561,21 +644,8 @@ let inside_interval lv ~case ~at_ancestor_end ~pi_right_order x ~other ~w1 =
 
 type face_membership = { border : bool array; inside : bool array }
 
-let detect_face g (lv : local_view) ~u ~v =
-  let n = Graph.n g in
-  let stats = ref no_stats in
+let detect_face_core comms n (lv : local_view) ~u ~v ~extra =
   let tk = tk_of_view lv in
-  let bump s =
-    stats :=
-      {
-        rounds = !stats.rounds + s.rounds;
-        messages = !stats.messages + s.messages;
-        max_edge_bits = max !stats.max_edge_bits s.max_edge_bits;
-      }
-  in
-  (* Border: the executed MARK-PATH. *)
-  let border, s_border = mark_path g tk ~u ~v in
-  bump s_border;
   (* The u endpoint (smaller LEFT position) decides the case; all data it
      broadcasts is u-local. *)
   let u, v = if lv.lpi_l.(u) < lv.lpi_l.(v) then (u, v) else (v, u) in
@@ -597,39 +667,53 @@ let detect_face g (lv : local_view) ~u ~v =
     inside_interval lv ~case ~at_ancestor_end:false ~pi_right_order:right_order v
       ~other:u ~w1:(-1)
   in
-  (* Broadcast the decision data (one [learn] run per value). *)
-  let bcast source value =
-    let out, s = learn g tk ~source ~value no_stats in
-    bump s;
-    out
+  let pi = if case = case_anc_left then lv.lpi_r else lv.lpi_l in
+  (* All twelve decision scalars ride the mark-path batch (plus whatever
+     the caller piggybacks). *)
+  let face_slots =
+    [|
+      (u, case);
+      (u, pi.(u));
+      (v, pi.(v));
+      (u, lv.lsize.(u));
+      (v, lv.lsize.(v));
+      (u, iu_lo);
+      (u, iu_len);
+      (v, iv_lo);
+      (v, iv_len);
+      ( u,
+        if case = case_unrelated then 0
+        else if case = case_anc_left then child_pi_right lv u w1
+        else child_pi_left lv u w1 );
+      (* In the ancestor cases the subtree-membership tests still need
+         LEFT positions (subtree intervals are LEFT intervals). *)
+      (u, lv.lpi_l.(u));
+      (v, lv.lpi_l.(v));
+    |]
   in
-  let case_b = bcast u case in
-  let pi = if case_b = case_anc_left then lv.lpi_r else lv.lpi_l in
-  let pi_u = bcast u pi.(u) in
-  let pi_v = bcast v pi.(v) in
-  let size_u = bcast u lv.lsize.(u) in
-  let size_v = bcast v lv.lsize.(v) in
-  let iu_lo = bcast u iu_lo and iu_len = bcast u iu_len in
-  let iv_lo = bcast v iv_lo and iv_len = bcast v iv_len in
-  let pi_w1 =
-    bcast u (if case_b = case_unrelated then 0 else
-             if case_b = case_anc_left then child_pi_right lv u w1
-             else child_pi_left lv u w1)
+  (* Border: the executed MARK-PATH, carrying the face scalars. *)
+  let border, got =
+    mark_path_core comms n tk ~u ~v ~extra:(Array.append face_slots extra)
   in
-  (* In the ancestor cases the subtree-membership tests still need LEFT
-     positions (subtree intervals are LEFT intervals). *)
-  let pil_u = bcast u lv.lpi_l.(u) in
-  let pil_v = bcast v lv.lpi_l.(v) in
+  let case_b = got.(0) in
+  let pi_u = got.(1)
+  and pi_v = got.(2)
+  and size_u = got.(3)
+  and size_v = got.(4)
+  and iu_lo = got.(5)
+  and iu_len = got.(6)
+  and iv_lo = got.(7)
+  and iv_len = got.(8)
+  and pi_w1 = got.(9)
+  and pil_u = got.(10)
+  and pil_v = got.(11) in
   (* Local decision at every node. *)
+  let pi = if case_b = case_anc_left then lv.lpi_r else lv.lpi_l in
   let inside = Array.make n false in
   for z = 0 to n - 1 do
     if not border.(z) then begin
-      let in_tu =
-        lv.lpi_l.(z) > pil_u && lv.lpi_l.(z) < pil_u + size_u
-      in
-      let in_tv =
-        lv.lpi_l.(z) >= pil_v && lv.lpi_l.(z) < pil_v + size_v
-      in
+      let in_tu = lv.lpi_l.(z) > pil_u && lv.lpi_l.(z) < pil_u + size_u in
+      let in_tv = lv.lpi_l.(z) >= pil_v && lv.lpi_l.(z) < pil_v + size_v in
       let pz = pi.(z) in
       inside.(z) <-
         (if case_b = case_unrelated then
@@ -642,19 +726,66 @@ let detect_face g (lv : local_view) ~u ~v =
          else pz >= pi_w1 && pz < pi_v)
     end
   done;
-  ({ border; inside }, !stats)
+  ({ border; inside }, Array.sub got 12 (Array.length extra))
+
+let detect_face g (lv : local_view) ~u ~v =
+  let tk = tk_of_view lv in
+  with_batched g ~parent:tk.parent ~root:tk.root (fun comms ->
+      fst (detect_face_core comms (Graph.n g) lv ~u ~v ~extra:[||]))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end executed separator, Phase 3 case (Section 5.3): when some *)
+(* real fundamental face has weight in [n/3, 2n/3], its border path is  *)
+(* a cycle separator (Lemma 5).  Pipeline: Phase 1, executed weights, a *)
+(* RANGE aggregation to elect an in-range edge, and the marking of its  *)
+(* border path.  Returns None when no face is in range (the remaining   *)
+(* phases are run in the charged model by Repro_core.Separator).        *)
+(* ------------------------------------------------------------------ *)
+
+let separator_phase3_core comms g ~rot_orders ~parent ~depth ~root =
+  let n = Graph.n g in
+  let lv, bfs_parent = phase1_core comms g ~rot_orders ~parent ~depth ~root in
+  let edge_weights = weights_core comms g lv in
+  (* RANGE-PROBLEM: elect one in-range edge, known to everyone — one
+     part-wise MAX over the single whole-graph part, with the edge encoded
+     into an identifier held by its first endpoint.  The BFS tree from
+     Phase 1 is reused as the pipeline tree. *)
+  let encode (u, v) = (u * n) + v in
+  let candidate =
+    Array.make n (-1) (* per node: its best in-range incident edge *)
+  in
+  List.iter
+    (fun ((u, v), w) ->
+      if 3 * w >= n && 3 * w <= 2 * n then
+        candidate.(u) <- max candidate.(u) (encode (u, v)))
+    edge_weights;
+  let elected =
+    (comms.partwise ~bcast_parent:bfs_parent ~op:Prim.Max
+       ~parts:(Array.make n 0) [| candidate |]).(0)
+  in
+  if elected.(root) < 0 then None
+  else begin
+    let u = elected.(root) / n and v = elected.(root) mod n in
+    let tk = tk_of_view lv in
+    let marked, _ = mark_path_core comms n tk ~u ~v ~extra:[||] in
+    Some ((u, v), marked)
+  end
+
+let separator_phase3 g ~rot_orders ~parent ~depth ~root =
+  with_batched g ~parent ~root (fun comms ->
+      separator_phase3_core comms g ~rot_orders ~parent ~depth ~root)
 
 (* ------------------------------------------------------------------ *)
 (* Spanning forests by Borůvka (Lemma 9), executed.                     *)
 (*                                                                      *)
 (* Each phase: every node learns its neighbours' fragment ids (one      *)
 (* exchange), proposes its cheapest outgoing edge, the fragment elects  *)
-(* the minimum with one part-wise aggregation (parts = fragments), the  *)
-(* winning endpoint informs the other side (one exchange), and the      *)
-(* merged fragment ids are broadcast (one more part-wise aggregation).  *)
-(* With Lemma 9's 0/1 weights — 0 inside a part of the input partition, *)
-(* 1 across — stopping as soon as every cheapest outgoing edge has      *)
-(* weight 1 yields a spanning tree of every part, in parallel.          *)
+(* the minimum with one part-wise aggregation (parts = fragments), and  *)
+(* the merged fragment ids are broadcast (one more part-wise            *)
+(* aggregation).  With Lemma 9's 0/1 weights — 0 inside a part of the   *)
+(* input partition, 1 across — stopping as soon as every cheapest       *)
+(* outgoing edge has weight 1 yields a spanning tree of every part, in  *)
+(* parallel.                                                            *)
 (*                                                                      *)
 (* Chain resolution inside a phase (fragments whose chosen edges form   *)
 (* merge trees) is computed from the elected edges, which every node    *)
@@ -662,20 +793,13 @@ let detect_face g (lv : local_view) ~u ~v =
 (* their O(log n) factor is part of the charged model.                  *)
 (* ------------------------------------------------------------------ *)
 
-let spanning_forest g ?parts () =
+let spanning_forest_core comms g ~parts =
   let n = Graph.n g in
-  let parts = match parts with Some p -> p | None -> Array.make n 0 in
-  let stats = ref no_stats in
-  let run f =
-    let out, s = f () in
-    stats := add_stats !stats s;
-    out
-  in
   let frag = Array.init n Fun.id in
   let chosen = Hashtbl.create n in
   let encode u v = if u < v then (u * n) + v else (v * n) + u in
   (* One communication tree for all the part-wise aggregations. *)
-  let bcast_parent = run (fun () -> Prim.bfs_tree g ~root:0) |> fst in
+  let bcast_parent, _ = comms.bfs ~root:0 in
   let continue_ = ref (n > 1) in
   let phases = ref 0 in
   while !continue_ do
@@ -686,7 +810,7 @@ let spanning_forest g ?parts () =
       Array.init n (fun v ->
           Graph.neighbors g v |> Array.to_list |> List.map (fun u -> (u, frag.(v))))
     in
-    let nbr_frags = run (fun () -> Prim.exchange g ~sends) in
+    let nbr_frags = comms.exchange sends in
     (* 2. Local cheapest outgoing edge: weight 0 inside the input part,
        weight 1 across parts (Lemma 9's function). *)
     (* The sentinel must still fit the O(log n) message budget. *)
@@ -706,9 +830,7 @@ let spanning_forest g ?parts () =
     in
     (* 3. Fragment-wide minimum (part-wise aggregation over fragments). *)
     let elected =
-      run (fun () ->
-          Prim.partwise g ~parent:bcast_parent ~op:Prim.Min ~parts:frag
-            ~values:candidate)
+      (comms.partwise ~bcast_parent ~op:Prim.Min ~parts:frag [| candidate |]).(0)
     in
     (* 4. Record the elected edges and inform the far endpoints. *)
     let uf = Repro_util.Union_find.create n in
@@ -732,9 +854,8 @@ let spanning_forest g ?parts () =
       done;
       (* The id refresh costs one more part-wise broadcast. *)
       let _ =
-        run (fun () ->
-            Prim.partwise g ~parent:bcast_parent ~op:Prim.Min ~parts:frag
-              ~values:(Array.init n Fun.id))
+        comms.partwise ~bcast_parent ~op:Prim.Min ~parts:frag
+          [| Array.init n Fun.id |]
       in
       ()
     end
@@ -746,27 +867,39 @@ let spanning_forest g ?parts () =
   in
   let forest = Graph.of_edges ~n forest_edges in
   let roots = Array.init n (fun v -> frag.(v) = v) in
-  let (parent, depth), s = Prim.bfs_forest forest ~roots in
-  stats := add_stats !stats s;
-  ((parent, depth, frag), !phases, !stats)
+  let parent, depth = comms.bfs_forest forest ~roots in
+  ((parent, depth, frag), !phases)
+
+let spanning_forest g ?parts () =
+  let n = Graph.n g in
+  let parts = match parts with Some p -> p | None -> Array.make n 0 in
+  (* No spanning tree exists yet, so the ctx carries no communication
+     tree: Borůvka only issues exchanges, part-wise pipelines and BFS
+     floods, which are tree-free — the ctx is just the tally. *)
+  let (out, phases), st =
+    with_batched g ~parent:(Array.make n (-1)) ~root:0 (fun comms ->
+        spanning_forest_core comms g ~parts)
+  in
+  (out, phases, st)
 
 (* ------------------------------------------------------------------ *)
 (* RE-ROOT-PROBLEM (Lemma 19), executed: same tree edges, new root.     *)
 (*                                                                      *)
-(* Two broadcasts (the new root's LEFT position and depth) plus one      *)
-(* ancestor-MAX aggregation (Proposition 5) so every node learns the     *)
-(* depth of its LCA with the new root; then all updates are local.       *)
-(* Note: Lemma 19's printed update for nodes that are neither ancestors  *)
-(* nor descendants of the new root (d(v) + d(v0)) omits the -2*d(LCA)    *)
-(* term; the implementation computes the true distance and the suite     *)
-(* checks it against centralized re-rooting.                             *)
+(* One two-slot batched learn (the new root's LEFT position and depth)  *)
+(* plus one ancestor-MAX aggregation (Proposition 5) so every node      *)
+(* learns the depth of its LCA with the new root; then all updates are  *)
+(* local.  Note: Lemma 19's printed update for nodes that are neither   *)
+(* ancestors nor descendants of the new root (d(v) + d(v0)) omits the   *)
+(* -2*d(LCA) term; the implementation computes the true distance and    *)
+(* the suite checks it against centralized re-rooting.                  *)
 (* ------------------------------------------------------------------ *)
 
-let reroot g (lv : local_view) ~new_root =
-  let n = Graph.n g in
-  let tk = tk_of_view lv in
-  let pi_r0, stats = learn g tk ~source:new_root ~value:lv.lpi_l.(new_root) no_stats in
-  let d_r0, stats = learn g tk ~source:new_root ~value:lv.ldepth.(new_root) stats in
+let reroot_core comms n (lv : local_view) ~new_root =
+  let got =
+    comms.learn_batch
+      [| (new_root, lv.lpi_l.(new_root)); (new_root, lv.ldepth.(new_root)) |]
+  in
+  let pi_r0 = got.(0) and d_r0 = got.(1) in
   (* Depth of every node's LCA with the new root: the deepest of its own
      ancestors (itself included) that is also an ancestor of the new
      root — one executed ancestor-MAX aggregation. *)
@@ -776,10 +909,7 @@ let reroot g (lv : local_view) ~new_root =
           lv.ldepth.(a) + 1
         else 0)
   in
-  let lca_depth1, s_anc =
-    Prim.ancestor_agg g ~parent:lv.lparent ~op:Prim.Max ~values:anc_values
-  in
-  let stats = add_stats stats s_anc in
+  let lca_depth1 = comms.ancestor ~op:Prim.Max anc_values in
   let parent' = Array.make n (-1) in
   let depth' = Array.make n 0 in
   for v = 0 to n - 1 do
@@ -797,15 +927,20 @@ let reroot g (lv : local_view) ~new_root =
       else parent'.(v) <- lv.lparent.(v)
     end
   done;
-  ((parent', depth'), stats)
+  (parent', depth')
+
+let reroot g (lv : local_view) ~new_root =
+  let tk = tk_of_view lv in
+  with_batched g ~parent:tk.parent ~root:tk.root (fun comms ->
+      reroot_core comms (Graph.n g) lv ~new_root)
 
 (* ------------------------------------------------------------------ *)
 (* HIDDEN-PROBLEM (Lemma 16), executed: given the fundamental edge e    *)
 (* and a T-leaf t inside its face, every node learns which of its own   *)
 (* incident real fundamental edges hide t (Definition 4).               *)
 (*                                                                      *)
-(* After DETECT-FACE and two broadcasts (t's LEFT and RIGHT positions),  *)
-(* the verdict for an edge f = ab is computed at its pi-smaller          *)
+(* After DETECT-FACE (with t's LEFT and RIGHT positions riding its      *)
+(* batch), the verdict for an edge f = ab is computed at its pi-smaller  *)
 (* endpoint from node-local data plus one-round exchanges across f       *)
 (* itself (positions, sizes, membership, the far side's t-verdict and    *)
 (* inside-interval lengths, and — for Definition 4's condition 2 — the   *)
@@ -814,29 +949,15 @@ let reroot g (lv : local_view) ~new_root =
 (* test a pure interval comparison.                                      *)
 (* ------------------------------------------------------------------ *)
 
-let hidden g (lv : local_view) ~u ~v ~t =
+let hidden_core comms g (lv : local_view) ~u ~v ~t =
   let n = Graph.n g in
   let u, v = if lv.lpi_l.(u) < lv.lpi_l.(v) then (u, v) else (v, u) in
-  let fm, stats0 = detect_face g lv ~u ~v in
-  let stats = ref stats0 in
-  let bump (s : stats) =
-    stats :=
-      {
-        rounds = !stats.rounds + s.rounds;
-        messages = !stats.messages + s.messages;
-        max_edge_bits = max !stats.max_edge_bits s.max_edge_bits;
-      }
+  (* t's positions ride the detect-face batch. *)
+  let fm, got_t =
+    detect_face_core comms n lv ~u ~v
+      ~extra:[| (t, lv.lpi_l.(t)); (t, lv.lpi_r.(t)) |]
   in
-  let tk = tk_of_view lv in
-  let pi_t_l, s1 = learn g tk ~source:t ~value:lv.lpi_l.(t) no_stats in
-  bump s1;
-  let pi_t_r, s2 = learn g tk ~source:t ~value:lv.lpi_r.(t) no_stats in
-  bump s2;
-  let run f =
-    let out, s = f () in
-    bump (add_stats no_stats s);
-    out
-  in
+  let pi_t_l = got_t.(0) and pi_t_r = got_t.(1) in
   let fundamental x =
     Graph.neighbors g x |> Array.to_list
     |> List.filter (fun y -> lv.lparent.(x) <> y && lv.lparent.(y) <> x)
@@ -845,7 +966,7 @@ let hidden g (lv : local_view) ~u ~v ~t =
     let sends =
       Array.init n (fun x -> List.map (fun y -> (y, field x y)) (fundamental x))
     in
-    run (fun () -> Prim.exchange g ~sends)
+    comms.exchange sends
   in
   let member_state x = if fm.inside.(x) then 2 else if fm.border.(x) then 1 else 0 in
   (* Per-edge exchanged data (the sender is the field's first argument). *)
@@ -1111,9 +1232,74 @@ let hidden g (lv : local_view) ~u ~v ~t =
     let sends =
       Array.init n (fun a -> List.map (fun (_, b) -> (b, a)) verdicts.(a))
     in
-    run (fun () -> Prim.exchange g ~sends)
+    comms.exchange sends
   in
-  let result =
-    Array.init n (fun x -> verdicts.(x) @ List.map (fun (b, _) -> (b, x)) shared.(x))
-  in
-  (result, !stats)
+  Array.init n (fun x -> verdicts.(x) @ List.map (fun (b, _) -> (b, x)) shared.(x))
+
+let hidden g (lv : local_view) ~u ~v ~t =
+  let tk = tk_of_view lv in
+  with_batched g ~parent:tk.parent ~root:tk.root (fun comms ->
+      hidden_core comms g lv ~u ~v ~t)
+
+(* ------------------------------------------------------------------ *)
+(* The serial oracle: the identical subroutine cores bound to the       *)
+(* pre-refactor one-run-per-scalar choreography.                        *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  let dfs_orders g ~children ~parent ~depth ~root =
+    let (orders, phases), st =
+      with_serial g ~parent ~root (fun comms ->
+          dfs_orders_run comms g ~children ~parent ~depth ~root)
+    in
+    (orders, phases, st)
+
+  let phase1 g ~rot_orders ~parent ~depth ~root =
+    let (lv, _), st =
+      with_serial g ~parent ~root (fun comms ->
+          phase1_core comms g ~rot_orders ~parent ~depth ~root)
+    in
+    (lv, st)
+
+  let separator_phase3 g ~rot_orders ~parent ~depth ~root =
+    with_serial g ~parent ~root (fun comms ->
+        separator_phase3_core comms g ~rot_orders ~parent ~depth ~root)
+
+  let weights g lv =
+    let tk = tk_of_view lv in
+    with_serial g ~parent:tk.parent ~root:tk.root (fun comms ->
+        weights_core comms g lv)
+
+  let lca g (tk : tree_knowledge) ~u ~v =
+    with_serial g ~parent:tk.parent ~root:tk.root (fun comms ->
+        let w, _, _ = lca_core comms (Graph.n g) tk ~u ~v in
+        w)
+
+  let mark_path g (tk : tree_knowledge) ~u ~v =
+    with_serial g ~parent:tk.parent ~root:tk.root (fun comms ->
+        fst (mark_path_core comms (Graph.n g) tk ~u ~v ~extra:[||]))
+
+  let detect_face g lv ~u ~v =
+    let tk = tk_of_view lv in
+    with_serial g ~parent:tk.parent ~root:tk.root (fun comms ->
+        fst (detect_face_core comms (Graph.n g) lv ~u ~v ~extra:[||]))
+
+  let spanning_forest g ?parts () =
+    let n = Graph.n g in
+    let parts = match parts with Some p -> p | None -> Array.make n 0 in
+    let (out, phases), st =
+      with_serial g ~parent:(Array.make n (-1)) ~root:0 (fun comms ->
+          spanning_forest_core comms g ~parts)
+    in
+    (out, phases, st)
+
+  let reroot g lv ~new_root =
+    let tk = tk_of_view lv in
+    with_serial g ~parent:tk.parent ~root:tk.root (fun comms ->
+        reroot_core comms (Graph.n g) lv ~new_root)
+
+  let hidden g lv ~u ~v ~t =
+    let tk = tk_of_view lv in
+    with_serial g ~parent:tk.parent ~root:tk.root (fun comms ->
+        hidden_core comms g lv ~u ~v ~t)
+end

@@ -27,10 +27,22 @@ type t = {
   params : params;
   mutable total : float;
   breakdown : (string, float * int) Hashtbl.t;
+  (* Observability for the executed (message-level) portions: how many
+     engine invocations and logical collectives backed the charges. *)
+  mutable engine_runs : int;
+  mutable collectives : int;
 }
 
 let create ?(params = default_params) ~n ~d () =
-  { n = max n 2; d = max d 1; params; total = 0.0; breakdown = Hashtbl.create 32 }
+  {
+    n = max n 2;
+    d = max d 1;
+    params;
+    total = 0.0;
+    breakdown = Hashtbl.create 32;
+    engine_runs = 0;
+    collectives = 0;
+  }
 
 let log2n t = ceil (log (float_of_int t.n) /. log 2.0)
 
@@ -72,15 +84,25 @@ let charge_exact t ~label rounds = charge t ~label (float_of_int rounds)
 
 let total t = t.total
 
+let note_exec t (s : Collective.stats) =
+  t.engine_runs <- t.engine_runs + s.Collective.engine_runs;
+  t.collectives <- t.collectives + s.Collective.collectives
+
+let engine_runs t = t.engine_runs
+let collectives t = t.collectives
+
 (* Fresh accountant with the same network parameters — used to meter the
    parts of a partition independently before taking the parallel maximum. *)
-let like t = { t with total = 0.0; breakdown = Hashtbl.create 32 }
+let like t =
+  { t with total = 0.0; breakdown = Hashtbl.create 32; engine_runs = 0; collectives = 0 }
 
 (* Merge another accountant's charges into this one (used to absorb the
    heaviest part of a parallel batch: rounds of concurrent executions are
    the maximum, not the sum). *)
 let absorb t other =
   t.total <- t.total +. other.total;
+  t.engine_runs <- t.engine_runs + other.engine_runs;
+  t.collectives <- t.collectives + other.collectives;
   Hashtbl.iter
     (fun label (r, c) ->
       let prev_r, prev_c =
@@ -116,6 +138,9 @@ let invocations t =
 
 let pp fmt t =
   Fmt.pf fmt "rounds=%.0f (n=%d, D=%d, PA=%.0f)@." t.total t.n t.d (pa_cost t);
+  if t.engine_runs > 0 then
+    Fmt.pf fmt "  executed: %d engine runs, %d collectives@." t.engine_runs
+      t.collectives;
   List.iter
     (fun (label, r, c) -> Fmt.pf fmt "  %-26s %10.0f rounds %6d calls@." label r c)
     (breakdown t)

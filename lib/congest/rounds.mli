@@ -41,6 +41,15 @@ val charge_exact : t -> label:string -> int -> unit
 
 val total : t -> float
 
+val note_exec : t -> Collective.stats -> unit
+(** Fold the observability counters of an executed collective tally into
+    the accountant (the charged rounds themselves are still added via
+    [charge_*]; this only tracks how many engine invocations and logical
+    collectives backed them). *)
+
+val engine_runs : t -> int
+val collectives : t -> int
+
 val like : t -> t
 (** Fresh accountant with the same network parameters. *)
 

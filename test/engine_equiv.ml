@@ -39,6 +39,8 @@ module Ancestor_diff = Diff (Prim.Ancestor_program)
 module Broadcast_diff = Diff (Prim.Broadcast_program)
 module Exchange_diff = Diff (Prim.Exchange_program)
 module Partwise_diff = Diff (Prim.Partwise_program)
+module Collect_diff = Diff (Collective.Collect_program)
+module Partwise_batch_diff = Diff (Collective.Partwise_batch_program)
 
 (* The seeded graph zoo: shapes with very different frontier profiles —
    a deep cycle (sparse frontier, the event-driven engine's best case), a
@@ -170,6 +172,56 @@ let test_partwise_fragments () =
         [ Prim.Sum; Prim.Min; Prim.Max ])
     (graphs ())
 
+let test_collect_batch () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let parent = spanning g 0 in
+      let rng = Repro_util.Rng.create 31 in
+      List.iter
+        (fun k ->
+          let ops =
+            Array.init k (fun j ->
+                [| Prim.Sum; Prim.Min; Prim.Max |].(j mod 3))
+          in
+          let input =
+            Array.init n (fun v ->
+                { Collective.Collect_program.parent = parent.(v);
+                  slots = random_values rng k 1000;
+                  ops;
+                })
+          in
+          Collect_diff.check
+            (Printf.sprintf "%s collect k=%d" name k)
+            g ~input)
+        [ 1; 3; 16 ])
+    (graphs ())
+
+let test_partwise_batch () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let parent = spanning g 0 in
+      let rng = Repro_util.Rng.create 32 in
+      let part = Array.init n (fun _ -> Repro_util.Rng.int rng 6) in
+      part.(0) <- 0;
+      List.iter
+        (fun k ->
+          let ops = Array.init k (fun j -> [| Prim.Max; Prim.Min |].(j mod 2)) in
+          let input =
+            Array.init n (fun v ->
+                { Collective.Partwise_batch_program.parent = parent.(v);
+                  part = part.(v);
+                  values = random_values rng k 1000;
+                  ops;
+                })
+          in
+          Partwise_batch_diff.check
+            (Printf.sprintf "%s partwise-batch k=%d" name k)
+            g ~input)
+        [ 1; 4 ])
+    (graphs ())
+
 let test_single_node_and_tiny () =
   let g1 = Graph.of_edges ~n:1 [] in
   Bfs_diff.check "n=1 bfs" g1 ~input:[| true |];
@@ -197,6 +249,10 @@ let suites =
           test_exchange;
         Alcotest.test_case "partwise fragments: event-driven = reference"
           `Quick test_partwise_fragments;
+        Alcotest.test_case "batched collect: event-driven = reference" `Quick
+          test_collect_batch;
+        Alcotest.test_case "batched partwise: event-driven = reference" `Quick
+          test_partwise_batch;
         Alcotest.test_case "tiny graphs: event-driven = reference" `Quick
           test_single_node_and_tiny;
       ] );

@@ -1,0 +1,420 @@
+(* The collective layer: batched tree collectives and the refactored
+   composed subroutines.
+
+   Three claims are checked here:
+
+   1. The batched programs compute the right thing: a k-slot
+      [learn_batch]/[agg_batch]/[partwise_batch] equals k scalar runs of
+      the corresponding [Prim] primitive (and a centralized reduction).
+   2. The refactored [Composed] subroutines are bit-identical to
+      [Composed.Reference] — the serial pre-refactor choreography kept as
+      the oracle — on seeded graph families, while the [engine_runs]
+      observability counter shows the >= 3x batching win for
+      mark-path / detect-face / hidden.
+   3. Round accounting scales with the communication-tree depth (the
+      paper's Õ(D) headline), not with n: shallow families keep executed
+      rounds flat as n grows, deep families pay O(depth + k). *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+open Repro_congest
+
+(* ------------------------------------------------------------------ *)
+(* 1. Batched collectives vs scalar primitives.                        *)
+(* ------------------------------------------------------------------ *)
+
+let graphs () =
+  [
+    ("cycle48", Embedded.graph (Gen.cycle 48));
+    ("grid6x7", Embedded.graph (Gen.grid ~rows:6 ~cols:7));
+    ("star25", Embedded.graph (Gen.star 25));
+    ("tri90", Embedded.graph (Gen.stacked_triangulation ~seed:5 ~n:90 ()));
+  ]
+
+let spanning g root = fst (fst (Prim.bfs_tree g ~root))
+
+let test_learn_batch_matches_scalar () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let parent = spanning g 0 in
+      let ctx = Collective.create g ~parent ~root:0 in
+      let rng = Repro_util.Rng.create 21 in
+      List.iter
+        (fun k ->
+          let slots =
+            Array.init k (fun _ ->
+                (Repro_util.Rng.int rng n, Repro_util.Rng.int rng 10_000))
+          in
+          let got = Collective.learn_batch ctx slots in
+          Array.iteri
+            (fun i (_, value) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s learn_batch k=%d slot %d" name k i)
+                value got.(i))
+            slots)
+        [ 1; 2; 5; 16 ];
+      (* One engine run per batch, k logical collectives. *)
+      let t = Collective.tally ctx in
+      Alcotest.(check int) (name ^ " engine runs") 4 t.Collective.engine_runs;
+      Alcotest.(check int) (name ^ " collectives") 24 t.Collective.collectives)
+    (graphs ())
+
+let test_agg_batch_matches_centralized () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let parent = spanning g 0 in
+      let ctx = Collective.create g ~parent ~root:0 in
+      let rng = Repro_util.Rng.create 22 in
+      List.iter
+        (fun op ->
+          let k = 7 in
+          let values =
+            Array.init k (fun _ ->
+                Array.init n (fun _ -> Repro_util.Rng.int rng 1000))
+          in
+          let got = Collective.agg_batch ctx ~op values in
+          Array.iteri
+            (fun j vals ->
+              let expected =
+                Array.fold_left (Prim.apply op) vals.(0)
+                  (Array.sub vals 1 (n - 1))
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "%s agg_batch slot %d" name j)
+                expected got.(j))
+            values)
+        [ Prim.Sum; Prim.Min; Prim.Max ])
+    (graphs ())
+
+let test_partwise_batch_matches_scalar () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let parent = spanning g 0 in
+      let ctx = Collective.create g ~parent ~root:0 in
+      let rng = Repro_util.Rng.create 23 in
+      let parts = Array.init n (fun _ -> Repro_util.Rng.int rng 5) in
+      parts.(0) <- 0;
+      List.iter
+        (fun op ->
+          let k = 3 in
+          let values =
+            Array.init k (fun _ ->
+                Array.init n (fun _ -> Repro_util.Rng.int rng 1000))
+          in
+          let got =
+            Collective.partwise_batch ctx ~bcast_parent:parent ~op ~parts values
+          in
+          Array.iteri
+            (fun j vals ->
+              let expected, _ =
+                Prim.partwise g ~parent ~op ~parts ~values:vals
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "%s partwise_batch slot %d" name j)
+                expected got.(j))
+            values)
+        [ Prim.Sum; Prim.Min; Prim.Max ])
+    (graphs ())
+
+let test_scalar_primitives_via_ctx () =
+  let g = Embedded.graph (Gen.grid ~rows:5 ~cols:5) in
+  let n = Graph.n g in
+  let parent = spanning g 0 in
+  let ctx = Collective.create g ~parent ~root:0 in
+  let values = Array.init n (fun v -> v + 1) in
+  let sub = Collective.subtree_agg ctx ~op:Prim.Sum ~values in
+  let expected_sub, _ = Prim.subtree_agg g ~parent ~op:Prim.Sum ~values in
+  Alcotest.(check (array int)) "subtree via ctx" expected_sub sub;
+  let anc = Collective.ancestor_agg ctx ~op:Prim.Max ~values in
+  let expected_anc, _ = Prim.ancestor_agg g ~parent ~op:Prim.Max ~values in
+  Alcotest.(check (array int)) "ancestor via ctx" expected_anc anc;
+  let total = Collective.convergecast ctx ~op:Prim.Sum ~values in
+  Alcotest.(check int) "convergecast" (n * (n + 1) / 2) total;
+  let bc = Collective.broadcast ctx ~value:4242 in
+  Alcotest.(check bool) "broadcast" true (Array.for_all (( = ) 4242) bc);
+  Alcotest.(check int) "learn" 77 (Collective.learn ctx ~source:(n - 1) ~value:77);
+  (* The tally counted every run with full engine stats. *)
+  let t = Collective.tally ctx in
+  Alcotest.(check int) "engine runs" 5 t.Collective.engine_runs;
+  Alcotest.(check bool) "total bits recorded" true (t.Collective.total_bits > 0)
+
+(* O(depth + k): a batched learn on a shallow tree must not pay k times
+   the depth. *)
+let test_batch_rounds_pipelined () =
+  let g = Embedded.graph (Gen.star 129) in
+  let parent = spanning g 0 in
+  let ctx = Collective.create g ~parent ~root:0 in
+  let k = 64 in
+  let slots = Array.init k (fun i -> (1 + (i mod 128), i)) in
+  let _ = Collective.learn_batch ctx slots in
+  let batched = (Collective.tally ctx).Collective.rounds in
+  Collective.reset ctx;
+  Array.iter
+    (fun (source, value) -> ignore (Collective.learn ctx ~source ~value))
+    slots;
+  let serial = (Collective.tally ctx).Collective.rounds in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined %d rounds << serial %d" batched serial)
+    true
+    (batched <= 2 * (2 + k) + 4 && serial >= 3 * k)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Differential: batched [Composed] vs the serial oracle            *)
+(*    [Composed.Reference].  Same subroutine cores, different          *)
+(*    communication schedules — outputs must be bit-identical, while   *)
+(*    [engine_runs] exposes the batching win.                          *)
+(* ------------------------------------------------------------------ *)
+
+let knowledge_of tree =
+  let n = Rooted.n tree in
+  Composed.
+    {
+      parent = Array.init n (Rooted.parent tree);
+      depth = Array.init n (Rooted.depth tree);
+      pi_left = Array.init n (Rooted.pi_left tree);
+      size = Array.init n (Rooted.size tree);
+      root = Rooted.root tree;
+    }
+
+let local_view_of emb tree =
+  let n = Rooted.n tree in
+  Composed.
+    {
+      lparent = Array.init n (Rooted.parent tree);
+      ldepth = Array.init n (Rooted.depth tree);
+      lsize = Array.init n (Rooted.size tree);
+      lrot = Array.init n (Rotation.order (Embedded.rot emb));
+      lchildren = Array.init n (Rooted.children tree);
+      lpi_l = Array.init n (Rooted.pi_left tree);
+      lpi_r = Array.init n (Rooted.pi_right tree);
+    }
+
+let setup ?(spanning = Spanning.Bfs) emb =
+  let g = Embedded.graph emb in
+  let root = Embedded.outer emb in
+  let parent = Spanning.make spanning g ~root in
+  let tree = Rooted.build ~rot:(Embedded.rot emb) ~root parent in
+  (g, root, parent, tree)
+
+let families () =
+  [
+    ("tri60/bfs", Gen.stacked_triangulation ~seed:4 ~n:60 (), Spanning.Bfs);
+    ("tri60/rand", Gen.stacked_triangulation ~seed:4 ~n:60 (), Spanning.Random 7);
+    ("tri90/dfs", Gen.stacked_triangulation ~seed:9 ~n:90 (), Spanning.Dfs);
+    ("grid6x6", Gen.grid ~rows:6 ~cols:6, Spanning.Bfs);
+    ("wheel14", Gen.wheel 14, Spanning.Dfs);
+  ]
+
+let check_ratio name ~(oracle : Composed.stats) ~(batched : Composed.stats) r =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: oracle %d runs >= %dx batched %d runs" name
+       oracle.Composed.engine_runs r batched.Composed.engine_runs)
+    true
+    (oracle.Composed.engine_runs >= r * batched.Composed.engine_runs)
+
+let test_tree_routines_equal_reference () =
+  List.iter
+    (fun (name, emb, spanning) ->
+      let g, _, _, tree = setup ~spanning emb in
+      let tk = knowledge_of tree in
+      let lv = local_view_of emb tree in
+      let n = Graph.n g in
+      let rng = Repro_util.Rng.create 51 in
+      for _ = 1 to 5 do
+        let u = Repro_util.Rng.int rng n and v = Repro_util.Rng.int rng n in
+        let w, _ = Composed.lca g tk ~u ~v in
+        let w', _ = Composed.Reference.lca g tk ~u ~v in
+        Alcotest.(check int) (name ^ ": lca") w' w;
+        let marked, st = Composed.mark_path g tk ~u ~v in
+        let marked', st' = Composed.Reference.mark_path g tk ~u ~v in
+        Alcotest.(check (array bool)) (name ^ ": mark_path") marked' marked;
+        check_ratio (name ^ ": mark_path") ~oracle:st' ~batched:st 3
+      done;
+      let nr = Repro_util.Rng.int rng n in
+      let rr, _ = Composed.reroot g lv ~new_root:nr in
+      let rr', _ = Composed.Reference.reroot g lv ~new_root:nr in
+      Alcotest.(check (pair (array int) (array int))) (name ^ ": reroot") rr' rr;
+      let ws, _ = Composed.weights g lv in
+      let ws', _ = Composed.Reference.weights g lv in
+      Alcotest.(check bool) (name ^ ": weights") true (ws = ws'))
+    (families ())
+
+let test_face_routines_equal_reference () =
+  List.iter
+    (fun (name, emb, spanning) ->
+      let g, _, _, tree = setup ~spanning emb in
+      let lv = local_view_of emb tree in
+      let cfg =
+        Repro_core.Config.of_parts ~graph:g ~rot:(Embedded.rot emb) ~tree ()
+      in
+      let edges =
+        List.filteri (fun i _ -> i < 4) (Repro_core.Config.fundamental_edges cfg)
+      in
+      List.iter
+        (fun (u, v) ->
+          let fm, st = Composed.detect_face g lv ~u ~v in
+          let fm', st' = Composed.Reference.detect_face g lv ~u ~v in
+          Alcotest.(check (array bool)) (name ^ ": face border")
+            fm'.Composed.border fm.Composed.border;
+          Alcotest.(check (array bool)) (name ^ ": face inside")
+            fm'.Composed.inside fm.Composed.inside;
+          check_ratio (name ^ ": detect_face") ~oracle:st' ~batched:st 3;
+          (* Hidden on the first interior leaf, when the face has one. *)
+          let interior = Repro_core.Faces.interior_reference cfg ~u ~v in
+          match List.filter (Rooted.is_leaf tree) interior with
+          | [] -> ()
+          | t :: _ ->
+              let h, sth = Composed.hidden g lv ~u ~v ~t in
+              let h', sth' = Composed.Reference.hidden g lv ~u ~v ~t in
+              Alcotest.(check bool) (name ^ ": hidden") true (h = h');
+              check_ratio (name ^ ": hidden") ~oracle:sth' ~batched:sth 3)
+        edges)
+    (families ())
+
+let test_pipeline_equals_reference () =
+  List.iter
+    (fun (name, emb, spanning) ->
+      let g, root, parent, tree = setup ~spanning emb in
+      let n = Graph.n g in
+      let rot_orders = Array.init n (Rotation.order (Embedded.rot emb)) in
+      let depth = Array.init n (Rooted.depth tree) in
+      let children = Array.init n (Rooted.children tree) in
+      let orders, phases, _ = Composed.dfs_orders g ~children ~parent ~depth ~root in
+      let orders', phases', _ =
+        Composed.Reference.dfs_orders g ~children ~parent ~depth ~root
+      in
+      Alcotest.(check (array int)) (name ^ ": pi_left")
+        orders'.Composed.pi_left orders.Composed.pi_left;
+      Alcotest.(check (array int)) (name ^ ": pi_right")
+        orders'.Composed.pi_right orders.Composed.pi_right;
+      Alcotest.(check int) (name ^ ": phases") phases' phases;
+      let lv, _ = Composed.phase1 g ~rot_orders ~parent ~depth ~root in
+      let lv', _ = Composed.Reference.phase1 g ~rot_orders ~parent ~depth ~root in
+      Alcotest.(check bool) (name ^ ": phase1") true
+        (lv.Composed.lsize = lv'.Composed.lsize
+        && lv.Composed.lpi_l = lv'.Composed.lpi_l
+        && lv.Composed.lpi_r = lv'.Composed.lpi_r);
+      let sep, st = Composed.separator_phase3 g ~rot_orders ~parent ~depth ~root in
+      let sep', st' =
+        Composed.Reference.separator_phase3 g ~rot_orders ~parent ~depth ~root
+      in
+      Alcotest.(check bool) (name ^ ": separator_phase3") true (sep = sep');
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: batched %d rounds < oracle %d rounds" name
+           st.Composed.rounds st'.Composed.rounds)
+        true
+        (st.Composed.rounds < st'.Composed.rounds);
+      let sf, sfp, _ = Composed.spanning_forest g () in
+      let sf', sfp', _ = Composed.Reference.spanning_forest g () in
+      Alcotest.(check bool) (name ^ ": spanning_forest") true
+        (sf = sf' && sfp = sfp'))
+    (families ())
+
+(* ------------------------------------------------------------------ *)
+(* 3. Round accounting scales with communication-tree depth, not n.    *)
+(* ------------------------------------------------------------------ *)
+
+let tree_depth tk = Array.fold_left max 0 tk.Composed.depth
+
+let test_reroot_rounds_scale_with_depth () =
+  (* Shallow stars of growing n: executed rounds must stay flat.  A deep
+     cycle with far fewer nodes must dominate both. *)
+  let run emb =
+    let g, _, _, tree = setup emb in
+    let lv = local_view_of emb tree in
+    let tk = knowledge_of tree in
+    let n = Graph.n g in
+    let _, st = Composed.reroot g lv ~new_root:(n - 1) in
+    (st.Composed.rounds, tree_depth tk)
+  in
+  let r64, d64 = run (Gen.star 64) in
+  let r256, d256 = run (Gen.star 256) in
+  let rcyc, dcyc = run (Gen.cycle 64) in
+  Alcotest.(check int) "star depth flat" d64 d256;
+  Alcotest.(check int)
+    (Printf.sprintf "star rounds flat (%d vs %d)" r64 r256)
+    r64 r256;
+  Alcotest.(check bool)
+    (Printf.sprintf "deep cycle (D=%d, %d rounds) dominates star256 (D=%d, %d rounds)"
+       dcyc rcyc d256 r256)
+    true
+    (rcyc >= 2 * r256);
+  List.iter
+    (fun (r, d) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rounds %d within O(depth=%d)" r d)
+        true
+        (r <= (8 * d) + 24))
+    [ (r64, d64); (r256, d256); (rcyc, dcyc) ]
+
+let test_hidden_rounds_scale_with_depth () =
+  (* The same triangulation under a shallow (BFS) and a deep (DFS) spanning
+     tree: executed rounds track the tree depth, staying within the Õ(D)
+     envelope in both cases. *)
+  let run spanning =
+    let emb = Gen.stacked_triangulation ~seed:4 ~n:60 () in
+    let g, _, _, tree = setup ~spanning emb in
+    let lv = local_view_of emb tree in
+    let cfg =
+      Repro_core.Config.of_parts ~graph:g ~rot:(Embedded.rot emb) ~tree ()
+    in
+    let instance =
+      List.find_map
+        (fun (u, v) ->
+          Repro_core.Faces.interior_reference cfg ~u ~v
+          |> List.filter (Rooted.is_leaf tree)
+          |> function
+          | [] -> None
+          | t :: _ -> Some (u, v, t))
+        (Repro_core.Config.fundamental_edges cfg)
+    in
+    match instance with
+    | None -> Alcotest.fail "no hidden instance in family"
+    | Some (u, v, t) ->
+        let _, st = Composed.hidden g lv ~u ~v ~t in
+        (st.Composed.rounds, tree_depth (knowledge_of tree))
+  in
+  let r_shallow, d_shallow = run Spanning.Bfs in
+  let r_deep, d_deep = run Spanning.Dfs in
+  Alcotest.(check bool)
+    (Printf.sprintf "dfs tree deeper (%d) than bfs (%d)" d_deep d_shallow)
+    true
+    (d_deep >= 2 * d_shallow);
+  List.iter
+    (fun (r, d) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rounds %d within O(depth=%d + k)" r d)
+        true
+        (r <= (10 * d) + 160))
+    [ (r_shallow, d_shallow); (r_deep, d_deep) ]
+
+let suites =
+  [
+    ( "collective",
+      [
+        Alcotest.test_case "learn_batch = k scalar learns" `Quick
+          test_learn_batch_matches_scalar;
+        Alcotest.test_case "agg_batch = centralized reduce" `Quick
+          test_agg_batch_matches_centralized;
+        Alcotest.test_case "partwise_batch = k scalar partwise" `Quick
+          test_partwise_batch_matches_scalar;
+        Alcotest.test_case "scalar primitives via ctx" `Quick
+          test_scalar_primitives_via_ctx;
+        Alcotest.test_case "batched rounds are O(depth + k)" `Quick
+          test_batch_rounds_pipelined;
+        Alcotest.test_case "lca/mark_path/reroot/weights = oracle" `Quick
+          test_tree_routines_equal_reference;
+        Alcotest.test_case "detect_face/hidden = oracle, >=3x fewer runs"
+          `Quick test_face_routines_equal_reference;
+        Alcotest.test_case "orders/phase1/separator/forest = oracle" `Quick
+          test_pipeline_equals_reference;
+        Alcotest.test_case "reroot rounds scale with depth" `Quick
+          test_reroot_rounds_scale_with_depth;
+        Alcotest.test_case "hidden rounds scale with depth" `Quick
+          test_hidden_rounds_scale_with_depth;
+      ] );
+  ]

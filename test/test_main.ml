@@ -6,5 +6,5 @@ let () =
    @ Test_planarity.suites @ Test_svg.suites @ Test_tree.suites @ Test_congest.suites @ Test_faces.suites
    @ Test_weights.suites @ Test_hidden.suites @ Test_separator.suites
    @ Test_dfs.suites @ Test_decomposition.suites @ Test_composed.suites
-   @ Test_baseline.suites @ Engine_equiv.suites @ Test_pool.suites
-   @ Test_parallel.suites)
+   @ Test_baseline.suites @ Engine_equiv.suites @ Test_collective.suites
+   @ Test_pool.suites @ Test_parallel.suites)
