@@ -1047,6 +1047,49 @@ let e13 ~short () =
   pf " \"constant number of broadcasts\", made executable)\n"
 
 (* ------------------------------------------------------------------ *)
+(* F3: testkit oracle throughput.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let f3 ~short () =
+  section "F3  Testkit oracle throughput";
+  pf "expected: every oracle clears its fuzz stream with no failures and\n";
+  pf " enough checks/s that the CI fuzz-smoke budget (200 cases) stays cheap\n";
+  let t =
+    Table.create ~title:"F3 per-oracle cost over a fixed instance stream"
+      [ "oracle"; "guards"; "cases"; "checks"; "wall s"; "checks/s" ]
+  in
+  Table.set_align t 0 Table.Left;
+  Table.set_align t 1 Table.Left;
+  let count = if short then 12 else 40 in
+  let max_size = if short then 32 else 56 in
+  List.iter
+    (fun o ->
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        Repro_testkit.Runner.fuzz ~oracles:[ o ] ~max_size ~seed:0 ~count ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Table.add_row t
+        [
+          o.Repro_testkit.Oracle.name;
+          o.Repro_testkit.Oracle.guards;
+          Table.fmt_int outcome.Repro_testkit.Runner.cases;
+          Table.fmt_int outcome.Repro_testkit.Runner.checks;
+          Printf.sprintf "%.2f" dt;
+          Table.fmt_int
+            (int_of_float
+               (float_of_int outcome.Repro_testkit.Runner.checks
+               /. Float.max dt 1e-9));
+        ];
+      List.iter
+        (fun f ->
+          pf "  !! %s FAILED: %s\n" o.Repro_testkit.Oracle.name
+            (Repro_testkit.Runner.repro_line f))
+        outcome.Repro_testkit.Runner.failures)
+    (Repro_testkit.Oracle.all ());
+  output t
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1092,7 +1135,7 @@ let micro () =
 
 let () =
   (* usage: main [--jobs N] [--short] [experiment]   (experiment: e1..e13,
-     f1, f2, micro; default all).  --short shrinks instance sizes for the CI
+     f1..f3, micro; default all).  --short shrinks instance sizes for the CI
      smoke run. *)
   let jobs = ref (Pool.default_jobs ()) in
   let short = ref false in
@@ -1138,6 +1181,7 @@ let () =
   run "e11" (e11 ~jobs:!jobs ~short:!short);
   run "e12" (e12 ~short:!short);
   run "e13" (e13 ~short:!short);
+  run "f3" (f3 ~short:!short);
   run "micro" micro;
   write_json ~path:"BENCH_3.json" ~jobs:!jobs ~timings:(List.rev !timings);
   pf "\nAll experiments complete.\n"

@@ -61,6 +61,10 @@ type stats = {
   total_bits : int;
 }
 
+let pp_stats fmt s =
+  Format.fprintf fmt "rounds=%d messages=%d max_edge_bits=%d total_bits=%d"
+    s.rounds s.messages s.max_edge_bits s.total_bits
+
 exception Bandwidth_exceeded of { src : int; dst : int; bits : int; limit : int }
 exception Duplicate_message of { src : int; dst : int }
 exception Did_not_terminate of { max_rounds : int }

@@ -43,6 +43,9 @@ type stats = {
   total_bits : int;
 }
 
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering (differential-failure reports). *)
+
 exception Bandwidth_exceeded of { src : int; dst : int; bits : int; limit : int }
 exception Duplicate_message of { src : int; dst : int }
 exception Did_not_terminate of { max_rounds : int }

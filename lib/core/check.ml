@@ -90,6 +90,49 @@ let balanced cfg separator =
   List.iter (fun v -> removed.(v) <- true) separator;
   max_component_without g removed <= balance_limit n
 
+(* A partition into connected parts is the precondition of Theorem 1's
+   [find_partition] and Lemma 9's per-part spanning forests; the testkit
+   validates its fuzzed partitions with this before handing them over. *)
+let connected_partition g parts =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let covered = ref 0 in
+  let connected part =
+    match part with
+    | [] -> false
+    | seed :: _ ->
+      let in_part = Array.make n false in
+      List.iter (fun v -> in_part.(v) <- true) part;
+      let q = Queue.create () in
+      let reached = ref 0 in
+      let visit v =
+        if in_part.(v) then begin
+          in_part.(v) <- false;
+          incr reached;
+          Queue.add v q
+        end
+      in
+      visit seed;
+      while not (Queue.is_empty q) do
+        Array.iter visit (Graph.neighbors g (Queue.pop q))
+      done;
+      !reached = List.length part
+  in
+  List.for_all
+    (fun part ->
+      List.for_all
+        (fun v ->
+          let fresh = v >= 0 && v < n && not seen.(v) in
+          if fresh then begin
+            seen.(v) <- true;
+            incr covered
+          end;
+          fresh)
+        part
+      && connected part)
+    parts
+  && !covered = n
+
 let pp_verdict fmt v =
   Fmt.pf fmt "valid=%b path=%b max_comp=%d/%d size=%d" v.valid v.is_tree_path
     v.max_component v.limit v.size

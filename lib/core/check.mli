@@ -19,6 +19,11 @@ val max_component_without : Repro_graph.Graph.t -> bool array -> int
 val is_tree_path : Rooted.t -> int list -> bool
 (** Does the set equal the vertex set of a path of the tree? *)
 
+val connected_partition : Repro_graph.Graph.t -> int list list -> bool
+(** Do the parts partition the whole vertex set into non-empty connected
+    parts (no overlap, no vertex missing)?  The precondition of
+    [Separator.find_partition] and of Lemma 9's per-part forests. *)
+
 val check_separator : Config.t -> int list -> verdict
 
 val balanced : Config.t -> int list -> bool

@@ -1,0 +1,73 @@
+(* Lemma 11 by brute force: first-visit orders along the unique face of the
+   spanning tree.
+
+   At a node v entered along the dart (u, v), the walk leaves along the
+   first TREE neighbour after u in v's rotation — scanning clockwise for
+   the LEFT order, counterclockwise for the RIGHT order.  At the root the
+   scan starts at the virtual root edge's position (the [root_first]
+   neighbour, or the rotation's own starting point).  This visits children
+   exactly in the paper's convention (clockwise starting right after the
+   parent edge), so the order of first visits is the LEFT (resp. RIGHT)
+   DFS order. *)
+
+open Repro_embedding
+
+let orders ~rot ~parent ~root ?root_first () =
+  let n = Array.length parent in
+  let is_tree_edge v w = parent.(v) = w || parent.(w) = v in
+  let walk dir =
+    let order = Array.make n (-1) in
+    let next_rank = ref 0 in
+    let visit v =
+      if order.(v) = -1 then begin
+        order.(v) <- !next_rank;
+        incr next_rank
+      end
+    in
+    visit root;
+    if n > 1 then begin
+      let rotation = Rotation.order rot root in
+      let start_idx =
+        match root_first with
+        | None -> 0
+        | Some rf ->
+          let idx = ref 0 in
+          Array.iteri (fun i w -> if w = rf then idx := i) rotation;
+          !idx
+      in
+      (* First tree neighbour of [v] scanning [dir] from index [from]
+         (inclusive); a node with any incidence has a tree neighbour. *)
+      let scan v from =
+        let rotation = Rotation.order rot v in
+        let deg = Array.length rotation in
+        let rec go i remaining =
+          if remaining = 0 then invalid_arg "Facewalk: isolated vertex"
+          else begin
+            let i = ((i mod deg) + deg) mod deg in
+            let w = rotation.(i) in
+            if is_tree_edge v w then w else go (i + dir) (remaining - 1)
+          end
+        in
+        go from deg
+      in
+      (* The virtual root edge sits between [start_idx - 1] and
+         [start_idx]: the clockwise walk starts at [start_idx], the
+         counterclockwise one right before it. *)
+      let first = scan root (if dir = 1 then start_idx else start_idx - 1) in
+      let u = ref root and v = ref first in
+      (* The closed face walk of a tree has exactly 2(n-1) darts. *)
+      for _ = 1 to 2 * (n - 1) do
+        visit !v;
+        let p = Rotation.position rot !v !u in
+        let w = scan !v (p + dir) in
+        u := !v;
+        v := w
+      done
+    end;
+    order
+  in
+  (* In this repository's convention (Rooted: children clockwise starting
+     right after the parent edge, LEFT visits the last-stored child's side
+     first) the LEFT order is the counterclockwise face walk and RIGHT the
+     clockwise one. *)
+  (walk (-1), walk 1)

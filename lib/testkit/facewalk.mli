@@ -1,0 +1,22 @@
+(** Brute-force LEFT/RIGHT DFS orders by walking the face of the tree.
+
+    A spanning tree T of an embedded graph has exactly one face; walking its
+    2(n-1) darts and recording each vertex at first visit yields the
+    LEFT-DFS order (counterclockwise walk, in this repository's rotation
+    convention) and RIGHT-DFS order (clockwise walk) directly from the
+    paper's geometric definition — an oracle for
+    Lemma 11 that shares no code with [Rooted]'s recursive precomputation
+    or [Composed.dfs_orders]'s distributed fragment merging. *)
+
+open Repro_embedding
+
+val orders :
+  rot:Rotation.t ->
+  parent:int array ->
+  root:int ->
+  ?root_first:int ->
+  unit ->
+  int array * int array
+(** [(pi_left, pi_right)], 0-based positions.  [root_first] is the
+    neighbour of the root right after the virtual root edge (the same
+    convention as {!Repro_tree.Rooted.build}). *)

@@ -1,0 +1,36 @@
+(** Deterministic, seed-driven generator combinators.
+
+    A generator is a function of the [Rng.t] it draws from, so composing
+    generators never hides state: the same generator applied to generators
+    seeded identically yields identical values, which is what makes the
+    fuzzer's case stream (and hence every failure) replayable. *)
+
+open Repro_graph
+open Repro_tree
+
+type 'a t = Repro_util.Rng.t -> 'a
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val int_range : int -> int -> int t
+(** Inclusive. *)
+
+val oneof : 'a list -> 'a t
+(** Uniform element of a non-empty list. *)
+
+val oneof_gen : 'a t list -> 'a t
+val frequency : (int * 'a) list -> 'a t
+(** Weighted choice; weights must be positive. *)
+
+val spanning_kind : Spanning.kind t
+(** Adversarial spanning-tree pool: BFS (shallow), DFS (deep) and seeded
+    random trees, biased toward the random ones. *)
+
+val spec : ?families:string list -> size:int -> Instance.spec t
+(** An instance spec of roughly the given size. *)
+
+val connected_parts : Graph.t -> parts:int -> int list list t
+(** Random partition of a connected graph into at most [parts] connected,
+    non-empty parts (multi-source BFS regions grown from random seeds). *)

@@ -1,0 +1,116 @@
+(* Fuzzing instances, determined by a printable (family, n, seed, spanning)
+   spec.  Everything downstream of the spec is deterministic: the embedded
+   graph, the spanning tree, and (because every oracle seeds its own input
+   stream from [spec.seed]) the full check performed on it.  That makes a
+   spec string a complete, replayable repro of any failure. *)
+
+open Repro_util
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+open Repro_core
+
+type spec = { family : string; n : int; seed : int; spanning : Spanning.kind }
+type t = { spec : spec; emb : Embedded.t; config : Config.t }
+
+(* Gen's benchmark families plus the testkit-only ones.  Trees (rtree,
+   caterpillar, path, star) are kept in the pool on purpose: they exercise
+   the tree phases of the separator and the empty-fundamental-edge paths of
+   the face oracles. *)
+let families =
+  [
+    "grid"; "tgrid"; "stacked"; "thinned"; "cycle"; "chords"; "fan"; "wheel";
+    "rtree"; "caterpillar"; "path"; "star";
+  ]
+
+let min_size = function
+  | "wheel" | "chords" -> 4
+  | "grid" | "tgrid" -> 4
+  | "stacked" | "thinned" -> 4
+  | "cycle" | "fan" -> 3
+  | "star" -> 2
+  | "path" -> 1
+  | _ -> 4
+
+(* Cycle 0..n-1 in convex position with a random set of non-crossing chords:
+   regions are split recursively, so all chords are nested intervals and the
+   straight-line drawing stays planar (a random outerplanar graph). *)
+let chorded_cycle ~seed ~n =
+  if n < 4 then invalid_arg "Instance.chorded_cycle: n >= 4 required";
+  let rng = Rng.create seed in
+  let edges = ref (List.init n (fun i -> (i, (i + 1) mod n))) in
+  let rec split lo hi =
+    (* region spanned by cycle vertices lo..hi (hi - lo >= 3 has room) *)
+    if hi - lo >= 3 then begin
+      let mid = lo + 1 + Rng.int rng (hi - lo - 1) in
+      if mid - lo >= 2 && Rng.int rng 3 > 0 then edges := (lo, mid) :: !edges;
+      if hi - mid >= 2 && Rng.int rng 3 > 0 then edges := (mid, hi) :: !edges;
+      split lo mid;
+      split mid hi
+    end
+  in
+  split 0 (n - 1);
+  let coords =
+    Array.init n (fun i ->
+        let a = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+        (cos a, sin a))
+  in
+  Embedded.of_coords
+    ~name:(Printf.sprintf "chords-%d" n)
+    (Graph.of_edges ~n !edges) coords
+
+let embedded spec =
+  let n = max (min_size spec.family) spec.n in
+  match spec.family with
+  | "chords" -> chorded_cycle ~seed:spec.seed ~n
+  | "caterpillar" -> Gen.caterpillar ~spine:(max 2 (n / 4)) ~legs:3
+  | f -> Gen.by_family ~seed:spec.seed f ~n
+
+(* The configuration uses the rotation's own starting point as the virtual
+   root edge position (no [root_first]) — the convention the Composed
+   subroutines assume (their local views carry raw rotations), and the one
+   test_composed always used.  [Config.of_embedded] would instead pick the
+   outward direction, making the centralized and distributed sides
+   disagree at the root. *)
+let build spec =
+  let emb = embedded spec in
+  let g = Embedded.graph emb in
+  let root = Embedded.outer emb in
+  let parent = Spanning.make spec.spanning g ~root in
+  let tree = Rooted.build ~rot:(Embedded.rot emb) ~root parent in
+  let config = Config.of_parts ~graph:g ~rot:(Embedded.rot emb) ~tree () in
+  { spec; emb; config }
+
+let spanning_name = function
+  | Spanning.Bfs -> "bfs"
+  | Spanning.Dfs -> "dfs"
+  | Spanning.Random s -> Printf.sprintf "rand%d" s
+
+let spanning_of_name s =
+  match s with
+  | "bfs" -> Spanning.Bfs
+  | "dfs" -> Spanning.Dfs
+  | _ ->
+    (match
+       if String.length s > 4 && String.sub s 0 4 = "rand" then
+         int_of_string_opt (String.sub s 4 (String.length s - 4))
+       else None
+     with
+    | Some k -> Spanning.Random k
+    | None -> failwith ("Instance.spanning_of_name: " ^ s))
+
+let to_string spec =
+  Printf.sprintf "%s:%d:%d:%s" spec.family spec.n spec.seed
+    (spanning_name spec.spanning)
+
+let of_string s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ family; n; seed; sp ] ->
+    if not (List.mem family families) then
+      failwith ("Instance.of_string: unknown family " ^ family);
+    (match (int_of_string_opt n, int_of_string_opt seed) with
+    | Some n, Some seed -> { family; n; seed; spanning = spanning_of_name sp }
+    | _ -> failwith ("Instance.of_string: malformed spec " ^ s))
+  | _ -> failwith ("Instance.of_string: malformed spec " ^ s)
+
+let pp fmt spec = Format.pp_print_string fmt (to_string spec)

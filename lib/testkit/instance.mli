@@ -1,0 +1,56 @@
+(** Fuzzing instances: a planar embedded graph plus the spanning-tree
+    choice, fully determined by a printable four-field spec.
+
+    The spec is the repro currency of the whole testkit: every failure is
+    reported as a spec string, [of_string] rebuilds the exact instance, and
+    shrinking searches the spec space (smaller [n], simpler spanning kind)
+    rather than mutating graphs directly — so a shrunk counterexample is
+    always replayable from one line. *)
+
+open Repro_embedding
+open Repro_tree
+open Repro_core
+
+type spec = {
+  family : string;  (** generator family, e.g. ["stacked"], ["chords"] *)
+  n : int;  (** requested size (the family may round it) *)
+  seed : int;  (** generator seed; also seeds the oracle's input stream *)
+  spanning : Spanning.kind;
+}
+
+type t = {
+  spec : spec;
+  emb : Embedded.t;
+  config : Config.t;
+      (** configuration rooted at the embedding's outer vertex, with the
+          spanning tree of [spec.spanning] and the virtual root edge at
+          the rotation's own starting point (the convention the Composed
+          subroutines assume) *)
+}
+
+val families : string list
+(** Families the fuzzer draws from: every [Gen] family plus the
+    testkit-only [chords] (cycle with random non-crossing chords) and
+    [caterpillar]. *)
+
+val min_size : string -> int
+(** Smallest [n] the family accepts (shrinking floor). *)
+
+val chorded_cycle : seed:int -> n:int -> Embedded.t
+(** Cycle with a random set of non-crossing chords (outerplanar), drawn
+    with vertices in convex position so the rotation system is the
+    straight-line one. *)
+
+val build : spec -> t
+(** Deterministic: equal specs build bit-identical instances. *)
+
+val spanning_name : Spanning.kind -> string
+val spanning_of_name : string -> Spanning.kind
+
+val to_string : spec -> string
+(** Repro line, e.g. ["stacked:60:7:rand3"]. *)
+
+val of_string : string -> spec
+(** Inverse of [to_string]; raises [Failure] on malformed input. *)
+
+val pp : Format.formatter -> spec -> unit

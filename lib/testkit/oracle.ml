@@ -1,0 +1,709 @@
+(* The differential-oracle registry: every oracle checks one slice of the
+   paper's correctness story on an arbitrary fuzzed instance, by comparing
+   an executed computation against an independent reference AND asserting a
+   pinned Õ(depth) round budget.  The budgets are deliberately generous
+   (constants pinned ~4x above the observed ceiling across the seeded fuzz
+   corpus) — they exist to catch asymptotic regressions (an O(n)-round
+   schedule, an O(n)-candidate loop), not constant-factor drift, which the
+   benchmarks track. *)
+
+open Repro_util
+open Repro_graph
+open Repro_embedding
+open Repro_tree
+open Repro_congest
+open Repro_core
+open Repro_baseline
+
+type report = {
+  oracle : string;
+  ok : bool;
+  detail : string;
+  rounds : int;
+  budget : int;
+  checks : int;
+}
+
+type t = { name : string; guards : string; run : Instance.t -> report }
+
+exception Duplicate_oracle of string
+
+(* ------------------------------------------------------------------ *)
+(* Check accumulation.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  mutable fails : string list;
+  mutable checks : int;
+  mutable max_rounds : int;
+  mutable max_budget : int;  (* budget paired with max_rounds *)
+}
+
+let ctx_create () =
+  { fails = []; checks = 0; max_rounds = 0; max_budget = max_int }
+
+let ck ctx label cond =
+  ctx.checks <- ctx.checks + 1;
+  if not cond then ctx.fails <- label :: ctx.fails
+
+(* Round-budget assertion: also feeds the report's (rounds, budget) pair
+   with the heaviest observed execution. *)
+let bud ctx label rounds budget =
+  if rounds > ctx.max_rounds then begin
+    ctx.max_rounds <- rounds;
+    ctx.max_budget <- budget
+  end;
+  ck ctx (Printf.sprintf "%s: %d rounds exceed budget %d" label rounds budget)
+    (rounds <= budget)
+
+let finish ~name ctx =
+  {
+    oracle = name;
+    ok = ctx.fails = [];
+    detail =
+      (match ctx.fails with
+      | [] -> Printf.sprintf "ok (%d checks)" ctx.checks
+      | fs -> String.concat "; " (List.rev fs));
+    rounds = ctx.max_rounds;
+    budget = (if ctx.max_budget = max_int then max_int else ctx.max_budget);
+    checks = ctx.checks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shared instance views.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let log2ceil n = int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0))
+
+let knowledge_of tree =
+  let n = Rooted.n tree in
+  Composed.
+    {
+      parent = Array.init n (Rooted.parent tree);
+      depth = Array.init n (Rooted.depth tree);
+      pi_left = Array.init n (Rooted.pi_left tree);
+      size = Array.init n (Rooted.size tree);
+      root = Rooted.root tree;
+    }
+
+let local_view_of rot tree =
+  let n = Rooted.n tree in
+  Composed.
+    {
+      lparent = Array.init n (Rooted.parent tree);
+      ldepth = Array.init n (Rooted.depth tree);
+      lsize = Array.init n (Rooted.size tree);
+      lrot = Array.init n (Rotation.order rot);
+      lchildren = Array.init n (Rooted.children tree);
+      lpi_l = Array.init n (Rooted.pi_left tree);
+      lpi_r = Array.init n (Rooted.pi_right tree);
+    }
+
+let tree_depth tree =
+  let d = ref 0 in
+  for v = 0 to Rooted.n tree - 1 do
+    if Rooted.depth tree v > !d then d := Rooted.depth tree v
+  done;
+  !d
+
+let take k xs = List.filteri (fun i _ -> i < k) xs
+
+(* ------------------------------------------------------------------ *)
+(* 1. "engine": event-driven scheduler = dense reference scheduler      *)
+(*    (bit-identical outputs AND statistics on every program).          *)
+(* ------------------------------------------------------------------ *)
+
+module Diff (P : Engine.PROGRAM) = struct
+  module Fast = Engine.Make (P)
+  module Ref = Engine.Reference.Make (P)
+
+  let check ?max_rounds ?bandwidth g ~input =
+    let out_r, st_r = Ref.run ?max_rounds ?bandwidth g ~input in
+    let out_f, st_f = Fast.run ?max_rounds ?bandwidth g ~input in
+    let err =
+      if out_r <> out_f then Some "outputs diverge"
+      else if st_r <> st_f then
+        Some
+          (Format.asprintf "stats diverge (ref %a, fast %a)" Engine.pp_stats
+             st_r Engine.pp_stats st_f)
+      else None
+    in
+    (st_f.Engine.rounds, err)
+end
+
+module Bfs_diff = Diff (Prim.Bfs_program)
+module Subtree_diff = Diff (Prim.Subtree_program)
+module Ancestor_diff = Diff (Prim.Ancestor_program)
+module Broadcast_diff = Diff (Prim.Broadcast_program)
+module Exchange_diff = Diff (Prim.Exchange_program)
+module Collect_diff = Diff (Collective.Collect_program)
+module Partwise_batch_diff = Diff (Collective.Partwise_batch_program)
+
+let run_engine (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let tree = Config.tree inst.config in
+  let n = Graph.n g in
+  let root = Rooted.root tree in
+  let parent = Array.init n (Rooted.parent tree) in
+  let rng = Rng.create ((2 * inst.spec.Instance.seed) + 1) in
+  let diam = Algo.diameter g in
+  let budget = (4 * (diam + tree_depth tree + 8)) + 16 in
+  let diff name (rounds, err) =
+    ck ctx
+      (Printf.sprintf "%s: %s" name
+         (match err with Some e -> e | None -> "engines agree"))
+      (err = None);
+    bud ctx name rounds budget
+  in
+  (* BFS from one root and from a seeded multi-root forest. *)
+  diff "bfs" (Bfs_diff.check g ~input:(Array.init n (fun v -> v = root)));
+  let multi = Array.init n (fun _ -> Rng.int rng 8 = 0) in
+  multi.(root) <- true;
+  diff "bfs-forest" (Bfs_diff.check g ~input:multi);
+  (* Tree aggregations over the instance's own (possibly adversarial)
+     spanning tree. *)
+  let values = Array.init n (fun _ -> Rng.int rng 10_000) in
+  let op = Rng.pick rng [| Prim.Sum; Prim.Min; Prim.Max |] in
+  diff "subtree"
+    (Subtree_diff.check g
+       ~input:
+         (Array.init n (fun v ->
+              { Prim.Subtree_program.parent = parent.(v); value = values.(v); op })));
+  diff "ancestor"
+    (Ancestor_diff.check g
+       ~input:
+         (Array.init n (fun v ->
+              { Prim.Ancestor_program.parent = parent.(v); value = values.(v); op })));
+  diff "broadcast"
+    (Broadcast_diff.check g
+       ~input:
+         (Array.init n (fun v ->
+              {
+                Prim.Broadcast_program.parent = parent.(v);
+                value = (if v = root then Some 4242 else None);
+              })));
+  (* One-round neighbourhood exchange with random payloads. *)
+  diff "exchange"
+    (Exchange_diff.check g
+       ~input:
+         (Array.init n (fun v ->
+              Graph.neighbors g v |> Array.to_seq
+              |> Seq.filter_map (fun u ->
+                     if Rng.int rng 2 = 0 then Some (u, Rng.int rng 100)
+                     else None)
+              |> List.of_seq)));
+  (* The batched collective programs (k-slot convergecast, k-slot
+     part-wise) — the layer the composed subroutines ride on. *)
+  let k = 3 in
+  let ops = Array.init k (fun j -> [| Prim.Sum; Prim.Min; Prim.Max |].(j mod 3)) in
+  diff "collect-batch"
+    (Collect_diff.check g
+       ~input:
+         (Array.init n (fun v ->
+              {
+                Collective.Collect_program.parent = parent.(v);
+                slots = Array.init k (fun _ -> Rng.int rng 1000);
+                ops;
+              })));
+  let part = Array.init n (fun _ -> Rng.int rng 5) in
+  part.(root) <- 0;
+  diff "partwise-batch"
+    (Partwise_batch_diff.check g
+       ~input:
+         (Array.init n (fun v ->
+              {
+                Collective.Partwise_batch_program.parent = parent.(v);
+                part = part.(v);
+                values = Array.init k (fun _ -> Rng.int rng 1000);
+                ops;
+              })));
+  finish ~name:"engine" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 2. "orders": Lemma 11 — distributed LEFT/RIGHT orders = Rooted's     *)
+(*    recursive precomputation = the brute-force face walk.             *)
+(* ------------------------------------------------------------------ *)
+
+let run_orders (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let tree = Config.tree inst.config in
+  let n = Graph.n g in
+  let root = Rooted.root tree in
+  let parent = Array.init n (Rooted.parent tree) in
+  let depth = Array.init n (Rooted.depth tree) in
+  let children = Array.init n (Rooted.children tree) in
+  let pi_l = Array.init n (Rooted.pi_left tree) in
+  let pi_r = Array.init n (Rooted.pi_right tree) in
+  (* Independent geometric reference: first-visit orders along the face of
+     the tree. *)
+  let walk_l, walk_r =
+    Facewalk.orders
+      ~rot:(Config.rot inst.config)
+      ~parent ~root
+      ?root_first:(Config.root_first inst.config)
+      ()
+  in
+  ck ctx "face-walk LEFT = Rooted pi_left" (walk_l = pi_l);
+  ck ctx "face-walk RIGHT = Rooted pi_right" (walk_r = pi_r);
+  (* Distributed fragment merging (the executed Lemma 11). *)
+  let orders, phases, st = Composed.dfs_orders g ~children ~parent ~depth ~root in
+  ck ctx "executed pi_left = Rooted" (orders.Composed.pi_left = pi_l);
+  ck ctx "executed pi_right = Rooted" (orders.Composed.pi_right = pi_r);
+  let d = tree_depth tree in
+  let phase_bound = log2ceil (max 2 d) + 2 in
+  ck ctx
+    (Printf.sprintf "merging phases %d <= %d" phases phase_bound)
+    (phases <= phase_bound);
+  (* Executed rounds: the per-phase part-wise broadcast is pipelined over
+     the fragments, so a phase with p fragments costs O(depth + p) rounds
+     — linear in n at the first phases (observed ceiling ~12n; the engine
+     has no shortcuts).  The Õ(depth) claim is asserted on the charged
+     ledger by the separator/dfs oracles instead. *)
+  bud ctx "dfs-orders" st.Composed.rounds
+    ((20 * (n + (phase_bound * (d + 8)))) + 64);
+  finish ~name:"orders" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 3. "collective": batched tree subroutines = serial oracle =          *)
+(*    centralized truth (Lemmas 12, 13, 14, 19).                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_collective (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let tree = Config.tree inst.config in
+  let rot = Config.rot inst.config in
+  let n = Graph.n g in
+  let tk = knowledge_of tree in
+  let lv = local_view_of rot tree in
+  let d = tree_depth tree in
+  let rng = Rng.create ((2 * inst.spec.Instance.seed) + 3) in
+  for _ = 1 to 3 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let w, _ = Composed.lca g tk ~u ~v in
+    let w', _ = Composed.Reference.lca g tk ~u ~v in
+    ck ctx (Printf.sprintf "lca(%d,%d) = serial oracle" u v) (w = w');
+    ck ctx
+      (Printf.sprintf "lca(%d,%d) = centralized" u v)
+      (w = Rooted.lca tree u v);
+    let marked, st = Composed.mark_path g tk ~u ~v in
+    let marked', st' = Composed.Reference.mark_path g tk ~u ~v in
+    ck ctx "mark-path = serial oracle" (marked = marked');
+    let path = Rooted.path tree u v in
+    ck ctx "mark-path = centralized path"
+      (List.for_all (fun x -> marked.(x)) path
+      && Array.fold_left (fun a m -> if m then a + 1 else a) 0 marked
+         = List.length path);
+    (* The batching win must not silently erode. *)
+    ck ctx
+      (Printf.sprintf "mark-path batching: serial %d runs >= 3x batched %d"
+         st'.Composed.engine_runs st.Composed.engine_runs)
+      (st'.Composed.engine_runs >= 3 * st.Composed.engine_runs);
+    bud ctx "mark-path" st.Composed.rounds ((16 * (d + 3)) + 16)
+  done;
+  let new_root = Rng.int rng n in
+  let (p', d'), str = Composed.reroot g lv ~new_root in
+  let (p'', d''), _ = Composed.Reference.reroot g lv ~new_root in
+  ck ctx "reroot = serial oracle" (p' = p'' && d' = d'');
+  let tree' = Rooted.reroot ~rot tree new_root in
+  ck ctx "reroot = centralized"
+    (p' = Array.init n (Rooted.parent tree')
+    && d' = Array.init n (Rooted.depth tree'));
+  bud ctx "reroot" str.Composed.rounds ((8 * (d + 3)) + 24);
+  let ws, stw = Composed.weights g lv in
+  let ws', _ = Composed.Reference.weights g lv in
+  ck ctx "weights = serial oracle" (ws = ws');
+  ck ctx "weights cover all fundamental edges"
+    (List.length ws = List.length (Config.fundamental_edges inst.config));
+  ck ctx "weights = centralized Definition 2"
+    (List.for_all
+       (fun ((u, v), w) -> w = Weights.weight inst.config ~u ~v)
+       (take 6 ws));
+  (* Lemma 12: constant executed rounds once Phase-1 data is local. *)
+  bud ctx "weights" stw.Composed.rounds 8;
+  finish ~name:"collective" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 4. "faces": DETECT-FACE and HIDDEN (Lemmas 15, 16) = serial oracle   *)
+(*    = centralized face traversal.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_faces (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let tree = Config.tree inst.config in
+  let lv = local_view_of (Config.rot inst.config) tree in
+  let d = tree_depth tree in
+  List.iter
+    (fun (u, v) ->
+      let fm, st = Composed.detect_face g lv ~u ~v in
+      let fm', _ = Composed.Reference.detect_face g lv ~u ~v in
+      ck ctx
+        (Printf.sprintf "detect-face(%d,%d) = serial oracle" u v)
+        (fm.Composed.border = fm'.Composed.border
+        && fm.Composed.inside = fm'.Composed.inside);
+      let inside_ref = Faces.interior_reference inst.config ~u ~v in
+      let border_ref = Faces.border inst.config ~u ~v in
+      let as_marks xs =
+        let m = Array.make (Graph.n g) false in
+        List.iter (fun x -> m.(x) <- true) xs;
+        m
+      in
+      ck ctx "detect-face interior = centralized face traversal"
+        (fm.Composed.inside = as_marks inside_ref);
+      ck ctx "detect-face border = centralized border path"
+        (fm.Composed.border = as_marks border_ref);
+      bud ctx "detect-face" st.Composed.rounds ((16 * (d + 3)) + 64);
+      (* HIDDEN on the first interior T-leaf, when the face has one. *)
+      match List.filter (Rooted.is_leaf tree) inside_ref with
+      | [] -> ()
+      | t :: _ ->
+        let h, sth = Composed.hidden g lv ~u ~v ~t in
+        let h', _ = Composed.Reference.hidden g lv ~u ~v ~t in
+        ck ctx (Printf.sprintf "hidden(t=%d) = serial oracle" t) (h = h');
+        ck ctx "hidden = centralized Definition 4"
+          (Array.to_list h |> List.concat |> List.sort_uniq compare
+          = (Hidden.hiding_edges inst.config ~e:(u, v) ~t |> List.sort compare));
+        bud ctx "hidden" sth.Composed.rounds ((10 * (d + 3)) + 160))
+    (take 3 (Config.fundamental_edges inst.config));
+  finish ~name:"faces" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 5. "pipeline": Phase 1, the Phase-3 separator election, Lemma 9      *)
+(*    forests — batched = serial oracle, and valid.                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_pipeline (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let tree = Config.tree inst.config in
+  let n = Graph.n g in
+  let root = Rooted.root tree in
+  let rot = Config.rot inst.config in
+  let rot_orders = Array.init n (Rotation.order rot) in
+  let parent = Array.init n (Rooted.parent tree) in
+  let depth = Array.init n (Rooted.depth tree) in
+  let d = tree_depth tree in
+  let lg = log2ceil n in
+  let lv, st1 = Composed.phase1 g ~rot_orders ~parent ~depth ~root in
+  let lv', _ = Composed.Reference.phase1 g ~rot_orders ~parent ~depth ~root in
+  ck ctx "phase1 = serial oracle"
+    (lv.Composed.lsize = lv'.Composed.lsize
+    && lv.Composed.lpi_l = lv'.Composed.lpi_l
+    && lv.Composed.lpi_r = lv'.Composed.lpi_r);
+  ck ctx "phase1 = centralized tree data"
+    (lv.Composed.lsize = Array.init n (Rooted.size tree)
+    && lv.Composed.lpi_l = Array.init n (Rooted.pi_left tree)
+    && lv.Composed.lpi_r = Array.init n (Rooted.pi_right tree));
+  (* Observed ceiling ~7·n (fragment-pipelined part-wise, see "orders"). *)
+  bud ctx "phase1" st1.Composed.rounds ((12 * (n + ((lg + 2) * (d + 8)))) + 64);
+  let sep, st = Composed.separator_phase3 g ~rot_orders ~parent ~depth ~root in
+  let sep', st' =
+    Composed.Reference.separator_phase3 g ~rot_orders ~parent ~depth ~root
+  in
+  ck ctx "phase-3 election = serial oracle" (sep = sep');
+  ck ctx
+    (Printf.sprintf "batched %d rounds <= serial %d" st.Composed.rounds
+       st'.Composed.rounds)
+    (st.Composed.rounds <= st'.Composed.rounds);
+  (match sep with
+  | None -> ()
+  | Some (_, marked) ->
+    ck ctx
+      (Printf.sprintf "batched %d rounds < serial %d" st.Composed.rounds
+         st'.Composed.rounds)
+      (st.Composed.rounds < st'.Composed.rounds);
+    let s = ref [] in
+    Array.iteri (fun x m -> if m then s := x :: !s) marked;
+    ck ctx "phase-3 separator valid (Check)"
+      (Check.check_separator inst.config !s).Check.valid);
+  let (fp, fd, ffrag), phases, stf = Composed.spanning_forest g () in
+  let reference = Composed.Reference.spanning_forest g () in
+  let (fp', fd', ffrag'), phases', _ = reference in
+  ck ctx "Lemma-9 forest = serial oracle"
+    (fp = fp' && fd = fd' && ffrag = ffrag' && phases = phases');
+  let roots = ref 0 in
+  let well_formed = ref true in
+  for v = 0 to n - 1 do
+    if fp.(v) = -1 then incr roots
+    else if not (Graph.mem_edge g v fp.(v)) || fd.(v) <> fd.(fp.(v)) + 1 then
+      well_formed := false
+  done;
+  ck ctx "forest is a single well-formed tree" (!well_formed && !roots = 1);
+  ck ctx
+    (Printf.sprintf "Boruvka phases %d <= %d" phases (lg + 2))
+    (phases <= lg + 2);
+  (* Observed ceiling ~3.2·(n + phases·diam): fragment leaders flood their
+     fragments, whose diameter approaches the graph's. *)
+  bud ctx "spanning-forest" stf.Composed.rounds
+    ((8 * (n + ((lg + 2) * (Algo.diameter g + 8)))) + 64);
+  finish ~name:"pipeline" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 6. "separator": Theorem 1's six-phase algorithm, certified by the    *)
+(*    centralized Check/Lipton–Tarjan side.                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_separator (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let n = Graph.n g in
+  let d = Algo.diameter g in
+  let ledger = Rounds.create ~n ~d:(max 1 d) () in
+  let r = Separator.find ~rounds:ledger inst.config in
+  let verdict = Check.check_separator inst.config r.Separator.separator in
+  ck ctx
+    (Format.asprintf "separator valid (%a) via phase %s" Check.pp_verdict
+       verdict r.Separator.phase)
+    verdict.Check.valid;
+  (* Cross-validate the component computation: Check and the Lipton–Tarjan
+     baseline implement it independently. *)
+  ck ctx "Check max-component = Lipton-Tarjan max-component"
+    (verdict.Check.max_component
+    = Lipton_tarjan.max_component_after g r.Separator.separator);
+  (match r.Separator.endpoints with
+  | None -> ()
+  | Some e ->
+    ck ctx "closing edge certifiable (DMP)"
+      (Check.cycle_closable inst.config ~endpoints:e));
+  (* Shrinking keeps balance and never grows. *)
+  let shrunk = Separator.shrink inst.config r.Separator.separator in
+  ck ctx "shrunk separator still balanced" (Check.balanced inst.config shrunk);
+  ck ctx "shrink never grows"
+    (List.length shrunk <= List.length r.Separator.separator);
+  (* Charged-model budget: the candidate loop stays polylog, and the total
+     stays a polylog multiple of one part-wise aggregation (Õ(D)). *)
+  let lg = log2ceil n in
+  let inv_budget = (16 * lg) + 48 in
+  ck ctx
+    (Printf.sprintf "ledger invocations %d <= %d" (Rounds.invocations ledger)
+       inv_budget)
+    (Rounds.invocations ledger <= inv_budget);
+  bud ctx "charged rounds"
+    (int_of_float (Rounds.total ledger))
+    (int_of_float
+       (float_of_int (inv_budget * lg * lg) *. Rounds.pa_cost ledger));
+  finish ~name:"separator" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 7. "dfs": Theorem 2 end to end, against the centralized DFS          *)
+(*    characterization (every non-tree edge ancestor–descendant).       *)
+(* ------------------------------------------------------------------ *)
+
+let run_dfs (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let n = Graph.n g in
+  let root = Embedded.outer inst.emb in
+  let d = Algo.diameter g in
+  let ledger = Rounds.create ~n ~d:(max 1 d) () in
+  let r = Dfs.run ~rounds:ledger inst.emb ~root in
+  ck ctx "Dfs.verify" (Dfs.verify inst.emb ~root r);
+  ck ctx "distributed tree satisfies the DFS-tree characterization"
+    (Algo.is_dfs_tree g ~root ~parent:r.Dfs.parent);
+  (* The sequential oracle must satisfy the same characterization — if it
+     does not, the characterization itself regressed. *)
+  ck ctx "sequential DFS satisfies the characterization"
+    (Algo.is_dfs_tree g ~root ~parent:(Algo.dfs_parents g root));
+  let wf = ref true in
+  for v = 0 to n - 1 do
+    if r.Dfs.parent.(v) >= 0 && r.Dfs.depth.(v) <> r.Dfs.depth.(r.Dfs.parent.(v)) + 1
+    then wf := false
+  done;
+  ck ctx "depth array consistent with parent chains" !wf;
+  let lg = log2ceil n in
+  ck ctx
+    (Printf.sprintf "recursion phases %d <= %d" r.Dfs.phases ((2 * lg) + 8))
+    (r.Dfs.phases <= (2 * lg) + 8);
+  let inv_budget = 64 * (lg + 2) * (lg + 2) in
+  ck ctx
+    (Printf.sprintf "ledger invocations %d <= %d" (Rounds.invocations ledger)
+       inv_budget)
+    (Rounds.invocations ledger <= inv_budget);
+  bud ctx "charged rounds"
+    (int_of_float (Rounds.total ledger))
+    (int_of_float
+       (float_of_int (inv_budget * lg * lg) *. Rounds.pa_cost ledger));
+  finish ~name:"dfs" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 8. "forest": Lemma 9 over a fuzzed partition into connected parts.   *)
+(* ------------------------------------------------------------------ *)
+
+let parts_array n parts =
+  let a = Array.make n (-1) in
+  List.iteri (fun i members -> List.iter (fun v -> a.(v) <- i) members) parts;
+  a
+
+let run_forest (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let n = Graph.n g in
+  let rng = Rng.create ((2 * inst.spec.Instance.seed) + 5) in
+  let parts = Generator.connected_parts g ~parts:(1 + Rng.int rng 4) rng in
+  ck ctx "generated partition is connected (Check)"
+    (Check.connected_partition g parts);
+  let pa = parts_array n parts in
+  let (fp, fd, _), phases, st = Composed.spanning_forest g ~parts:pa () in
+  let (fp', fd', _), phases', _ =
+    Composed.Reference.spanning_forest g ~parts:pa ()
+  in
+  ck ctx "per-part forest = serial oracle"
+    (fp = fp' && fd = fd' && phases = phases');
+  let roots = ref 0 and wf = ref true in
+  for v = 0 to n - 1 do
+    if fp.(v) = -1 then incr roots
+    else begin
+      if not (Graph.mem_edge g v fp.(v)) || fd.(v) <> fd.(fp.(v)) + 1 then
+        wf := false;
+      (* Lemma 9 stops before any cross-part edge. *)
+      if pa.(v) <> pa.(fp.(v)) then wf := false
+    end
+  done;
+  ck ctx
+    (Printf.sprintf "one tree per part (%d roots, %d parts)" !roots
+       (List.length parts))
+    (!roots = List.length parts);
+  ck ctx "per-part trees well-formed" !wf;
+  let lg = log2ceil n in
+  ck ctx
+    (Printf.sprintf "Boruvka phases %d <= %d" phases (lg + 2))
+    (phases <= lg + 2);
+  bud ctx "per-part forest" st.Composed.rounds
+    ((8 * (n + ((lg + 2) * (Algo.diameter g + 8)))) + 64);
+  finish ~name:"forest" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 9. "pool": jobs=1 and jobs=N produce bit-identical separators and    *)
+(*    charged ledgers over a fuzzed partition (Theorem 1 parallelism).  *)
+(* ------------------------------------------------------------------ *)
+
+let run_pool (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let n = Graph.n g in
+  let d = Algo.diameter g in
+  let rng = Rng.create ((2 * inst.spec.Instance.seed) + 7) in
+  let parts = Generator.connected_parts g ~parts:(2 + Rng.int rng 3) rng in
+  ck ctx "generated partition is connected (Check)"
+    (Check.connected_partition g parts);
+  let run pool =
+    let ledger = Rounds.create ~n ~d:(max 1 d) () in
+    let results = Separator.find_partition ~rounds:ledger ?pool inst.emb ~parts in
+    ( List.map
+        (fun (_, r) ->
+          (r.Separator.separator, r.Separator.endpoints, r.Separator.phase))
+        results,
+      Rounds.total ledger )
+  in
+  let seq_results, seq_total = run None in
+  (* seq_grain 0 forces the batch onto the domains even at fuzz sizes. *)
+  let par_results, par_total =
+    Repro_util.Pool.with_pool ~seq_grain:0 ~jobs:3 (fun pool ->
+        run (Some pool))
+  in
+  ck ctx "separators bit-identical across pool sizes"
+    (seq_results = par_results);
+  ck ctx
+    (Printf.sprintf "charged rounds identical (%.1f vs %.1f)" seq_total
+       par_total)
+    (seq_total = par_total);
+  finish ~name:"pool" ctx
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let registry : t list ref = ref []
+
+let register o =
+  if List.exists (fun o' -> o'.name = o.name) !registry then
+    raise (Duplicate_oracle o.name);
+  registry := !registry @ [ o ]
+
+let all () = !registry
+let names () = List.map (fun o -> o.name) !registry
+
+let find name =
+  match List.find_opt (fun o -> o.name = name) !registry with
+  | Some o -> o
+  | None ->
+    failwith
+      (Printf.sprintf "unknown oracle %s (known: %s)" name
+         (String.concat ", " (names ())))
+
+let run_protected o inst =
+  try o.run inst
+  with e ->
+    {
+      oracle = o.name;
+      ok = false;
+      detail = "exception: " ^ Printexc.to_string e;
+      rounds = 0;
+      budget = max_int;
+      checks = 0;
+    }
+
+let sabotage ~threshold =
+  {
+    name = "sabotage";
+    guards = "none (deliberately injected bug for the self-check drill)";
+    run =
+      (fun inst ->
+        let n = Embedded.n inst.Instance.emb in
+        let ok = n < threshold in
+        {
+          oracle = "sabotage";
+          ok;
+          detail =
+            (if ok then "ok (1 checks)"
+             else Printf.sprintf "injected bug fires: n = %d >= %d" n threshold);
+          rounds = 0;
+          budget = max_int;
+          checks = 1;
+        });
+  }
+
+let () =
+  List.iter register
+    [
+      {
+        name = "engine";
+        guards = "engine equivalence (event-driven = dense scheduler)";
+        run = run_engine;
+      };
+      { name = "orders"; guards = "Lemma 11 (DFS-ORDER)"; run = run_orders };
+      {
+        name = "collective";
+        guards = "Lemmas 12/13/14/19 (WEIGHTS, MARK-PATH, LCA, RE-ROOT)";
+        run = run_collective;
+      };
+      {
+        name = "faces";
+        guards = "Lemmas 15/16 (DETECT-FACE, HIDDEN)";
+        run = run_faces;
+      };
+      {
+        name = "pipeline";
+        guards = "Lemmas 5/9 + Phase 1 (election pipeline, forests)";
+        run = run_pipeline;
+      };
+      {
+        name = "separator";
+        guards = "Theorem 1 (cycle separator, all phases)";
+        run = run_separator;
+      };
+      { name = "dfs"; guards = "Theorem 2 (distributed DFS)"; run = run_dfs };
+      {
+        name = "forest";
+        guards = "Lemma 9 (per-part spanning forests)";
+        run = run_forest;
+      };
+      {
+        name = "pool";
+        guards = "Theorem 1 parallelism (pool determinism)";
+        run = run_pool;
+      };
+    ]

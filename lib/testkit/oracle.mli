@@ -1,0 +1,64 @@
+(** The differential-oracle registry.
+
+    One oracle = one invariant family of the paper, checked on an arbitrary
+    fuzzed instance by comparing an executed (distributed) computation
+    against an independent reference — the dense engine scheduler, the
+    serial collective choreography, or a centralized algorithm — plus a
+    pinned round budget (rounds = Õ(depth)) so an asymptotic regression
+    fails the check even when outputs still agree.
+
+    The registry unifies what used to be three hand-rolled differential
+    suites (engine_equiv, test_collective, test_composed): those suites are
+    now thin property declarations over these oracles, and [bin/fuzz] runs
+    the same oracles over a seed-driven instance stream. *)
+
+type report = {
+  oracle : string;
+  ok : bool;
+  detail : string;  (** failure reasons, or "ok (N checks)" *)
+  rounds : int;  (** observed rounds (0 when not applicable) *)
+  budget : int;  (** asserted round budget ([max_int] when not applicable) *)
+  checks : int;  (** individual comparisons performed *)
+}
+
+type t = {
+  name : string;
+  guards : string;  (** the lemma/theorem this oracle guards *)
+  run : Instance.t -> report;
+}
+
+exception Duplicate_oracle of string
+
+(** Engine differential driver: one program through both schedulers.
+    Exposed so the engine-equiv suite can keep its deterministic tiny-graph
+    edge cases (n = 1, n = 2) next to the fuzzed property. *)
+module Diff (P : Repro_congest.Engine.PROGRAM) : sig
+  val check :
+    ?max_rounds:int ->
+    ?bandwidth:int ->
+    Repro_graph.Graph.t ->
+    input:P.input array ->
+    int * string option
+  (** (event-driven engine rounds, divergence description if any);
+      divergence covers outputs and all four statistics. *)
+end
+
+val register : t -> unit
+(** Raises {!Duplicate_oracle} if the name is taken. *)
+
+val all : unit -> t list
+(** Registration order; the built-ins are registered at module load. *)
+
+val names : unit -> string list
+
+val find : string -> t
+(** Raises [Failure] with the known names on an unknown oracle. *)
+
+val run_protected : t -> Instance.t -> report
+(** [run] with exceptions captured as failing reports. *)
+
+val sabotage : threshold:int -> t
+(** Deliberately broken oracle (fails on any instance with at least
+    [threshold] vertices): the injected-bug drill used by
+    [bin/fuzz --self-check] and the testkit's own suite to prove that the
+    fuzzer catches, shrinks and replays a failure.  Never registered. *)

@@ -1,0 +1,183 @@
+(* The deterministic fuzz loop.  No wall clocks, no global RNG: the case
+   stream is a pure function of the seed, and every failure is reported as
+   a spec string that rebuilds the exact instance (see Instance). *)
+
+open Repro_util
+open Repro_tree
+
+type failure = {
+  original : Instance.spec;
+  spec : Instance.spec;
+  case : int;
+  shrink_steps : int;
+  reports : Oracle.report list;
+}
+
+type outcome = { cases : int; checks : int; failures : failure list }
+
+let build_failure_report exn =
+  {
+    Oracle.oracle = "build";
+    ok = false;
+    detail = "instance construction raised: " ^ Printexc.to_string exn;
+    rounds = 0;
+    budget = max_int;
+    checks = 0;
+  }
+
+let run_spec ~oracles spec =
+  match Instance.build spec with
+  | exception e -> [ build_failure_report e ]
+  | inst -> List.map (fun o -> Oracle.run_protected o inst) oracles
+
+let failing ~oracles spec =
+  List.filter (fun r -> not r.Oracle.ok) (run_spec ~oracles spec)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: greedy descent through the spec space.                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidate specs, most aggressive first.  A candidate that fails to
+   build is simply not a counterexample (the generator families reject
+   some sizes); [failing] never confuses that with an oracle failure
+   because shrinking only accepts candidates whose failing oracles are a
+   subset of the ones we started from. *)
+let shrink_candidates (spec : Instance.spec) =
+  let lo = Instance.min_size spec.family in
+  let smaller =
+    [ lo; spec.n / 2; spec.n * 2 / 3; spec.n - 8; spec.n - 1 ]
+    |> List.filter (fun n -> n >= lo && n < spec.n)
+    |> List.sort_uniq compare
+  in
+  let sizes = List.map (fun n -> { spec with n }) smaller in
+  let spannings =
+    match spec.spanning with
+    | Spanning.Random _ ->
+      [ { spec with spanning = Spanning.Dfs }; { spec with spanning = Spanning.Bfs } ]
+    | Spanning.Dfs -> [ { spec with spanning = Spanning.Bfs } ]
+    | Spanning.Bfs -> []
+  in
+  sizes @ spannings
+
+let shrink ~oracles ?(budget = 60) spec =
+  let target_oracles reports =
+    List.map (fun r -> r.Oracle.oracle) reports |> List.sort_uniq compare
+  in
+  let targets = target_oracles (failing ~oracles spec) in
+  let still_fails candidate =
+    let now = target_oracles (failing ~oracles candidate) in
+    now <> [] && List.for_all (fun o -> List.mem o targets) now
+  in
+  let steps = ref 0 and fuel = ref budget in
+  let rec descend spec =
+    if !fuel <= 0 then spec
+    else
+      match
+        List.find_opt
+          (fun c ->
+            decr fuel;
+            !fuel >= 0 && still_fails c)
+          (shrink_candidates spec)
+      with
+      | Some smaller ->
+        incr steps;
+        descend smaller
+      | None -> spec
+  in
+  let minimal = descend spec in
+  (minimal, !steps)
+
+(* ------------------------------------------------------------------ *)
+(* The fuzz loop.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pp_report fmt (r : Oracle.report) =
+  Format.fprintf fmt "[%s] %s (%d checks" r.Oracle.oracle r.Oracle.detail
+    r.Oracle.checks;
+  if r.Oracle.budget <> max_int then
+    Format.fprintf fmt ", %d/%d rounds" r.Oracle.rounds r.Oracle.budget;
+  Format.fprintf fmt ")"
+
+let repro_line f =
+  let oracle =
+    match f.reports with
+    | [ r ] -> Printf.sprintf " --oracle %s" r.Oracle.oracle
+    | _ -> ""
+  in
+  Printf.sprintf "bin/fuzz --replay %s%s" (Instance.to_string f.spec) oracle
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let artifact_json ~seed f =
+  let report_json (r : Oracle.report) =
+    Printf.sprintf
+      "{\"oracle\":\"%s\",\"ok\":false,\"detail\":\"%s\",\"rounds\":%d,\"budget\":%s,\"checks\":%d}"
+      (json_escape r.Oracle.oracle)
+      (json_escape r.Oracle.detail)
+      r.Oracle.rounds
+      (if r.Oracle.budget = max_int then "null"
+       else string_of_int r.Oracle.budget)
+      r.Oracle.checks
+  in
+  Printf.sprintf
+    "{\"fuzz_seed\":%d,\"case\":%d,\"original\":\"%s\",\"shrunk\":\"%s\",\"shrink_steps\":%d,\"replay\":\"%s\",\"reports\":[%s]}"
+    seed f.case
+    (json_escape (Instance.to_string f.original))
+    (json_escape (Instance.to_string f.spec))
+    f.shrink_steps
+    (json_escape (repro_line f))
+    (String.concat "," (List.map report_json f.reports))
+
+let fuzz ?oracles ?families ?(max_size = 64) ?(max_failures = 1)
+    ?(log = fun _ -> ()) ~seed ~count () =
+  let oracles = match oracles with Some os -> os | None -> Oracle.all () in
+  let rng = Rng.create seed in
+  let cases = ref 0 and checks = ref 0 in
+  let failures = ref [] in
+  (let exception Stop in
+   try
+     for i = 0 to count - 1 do
+       (* Size ramp: start tiny (boundary cases), end at max_size. *)
+       let size =
+         if count <= 1 then max_size
+         else 4 + ((max_size - 4) * i / (count - 1))
+       in
+       let spec = Generator.spec ?families ~size rng in
+       let reports = run_spec ~oracles spec in
+       incr cases;
+       List.iter (fun r -> checks := !checks + r.Oracle.checks) reports;
+       let bad = List.filter (fun r -> not r.Oracle.ok) reports in
+       if bad <> [] then begin
+         log
+           (Printf.sprintf "case %d FAILED: %s — shrinking..." i
+              (Instance.to_string spec));
+         let shrunk, steps = shrink ~oracles spec in
+         let f =
+           {
+             original = spec;
+             spec = shrunk;
+             case = i;
+             shrink_steps = steps;
+             reports = failing ~oracles shrunk;
+           }
+         in
+         failures := f :: !failures;
+         if List.length !failures >= max_failures then raise Stop
+       end
+       else if i > 0 && i mod 50 = 0 then
+         log (Printf.sprintf "case %d/%d ok (%d checks so far)" i count !checks)
+     done
+   with Stop -> ());
+  { cases = !cases; checks = !checks; failures = List.rev !failures }

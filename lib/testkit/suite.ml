@@ -1,0 +1,50 @@
+(* Suite names derived from module names; duplicates rejected at startup
+   instead of silently merging in alcotest's UI. *)
+
+exception Duplicate_suite of string
+
+let derive module_name =
+  (* Dune prefixes executable modules ("Dune__exe__Test_foo"); keep
+     everything after the last "__". *)
+  let last_chunk s =
+    let n = String.length s in
+    let start = ref 0 in
+    for i = 0 to n - 2 do
+      if s.[i] = '_' && s.[i + 1] = '_' then start := i + 2
+    done;
+    String.sub s !start (n - !start)
+  in
+  let s = String.lowercase_ascii (last_chunk module_name) in
+  let s =
+    if String.length s > 5 && String.sub s 0 5 = "test_" then
+      String.sub s 5 (String.length s - 5)
+    else s
+  in
+  String.map (function '_' -> '-' | c -> c) s
+
+let make module_name cases = [ (derive module_name, cases) ]
+
+let combine groups =
+  let seen = Hashtbl.create 32 in
+  let flat = List.concat groups in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then raise (Duplicate_suite name);
+      Hashtbl.add seen name ())
+    flat;
+  flat
+
+let property ?(count = 25) ?max_size ?families ~seed ~oracles name =
+  Alcotest.test_case name `Quick (fun () ->
+      let oracles = List.map Oracle.find oracles in
+      let outcome =
+        Runner.fuzz ~oracles ?families ?max_size ~seed ~count ()
+      in
+      match outcome.Runner.failures with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.fail
+          (Format.asprintf "%s@.  %a@.  replay: %s"
+             (Instance.to_string f.Runner.spec)
+             (Format.pp_print_list Runner.pp_report)
+             f.Runner.reports (Runner.repro_line f)))

@@ -1,0 +1,38 @@
+(** Alcotest suite registration with derived names and duplicate
+    detection.
+
+    Every test module declares [let suites = Suite.make __MODULE__ cases];
+    the suite name is derived from the module name (strip the dune prefix
+    and a [Test_] prefix, lowercase, [_] → [-]), so renaming a module
+    renames its suite and two modules can never silently merge under one
+    hand-typed name.  [combine] is the aggregation point of
+    test/test_main.ml and raises on a duplicate. *)
+
+exception Duplicate_suite of string
+
+val derive : string -> string
+(** ["Dune__exe__Test_collective"] → ["collective"],
+    ["Engine_equiv"] → ["engine-equiv"]. *)
+
+val make :
+  string ->
+  unit Alcotest.test_case list ->
+  (string * unit Alcotest.test_case list) list
+(** One suite named after the module ([__MODULE__]). *)
+
+val combine :
+  (string * unit Alcotest.test_case list) list list ->
+  (string * unit Alcotest.test_case list) list
+(** Flatten, raising {!Duplicate_suite} when two suites share a name. *)
+
+val property :
+  ?count:int ->
+  ?max_size:int ->
+  ?families:string list ->
+  seed:int ->
+  oracles:string list ->
+  string ->
+  unit Alcotest.test_case
+(** A fuzz property as an alcotest case: run [count] (default 25) cases
+    through the named oracles; on failure, shrink and fail the test with
+    the repro line. *)

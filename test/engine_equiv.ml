@@ -1,259 +1,47 @@
 (* Differential suite: the event-driven scheduler (Engine.Make) against the
    dense reference scheduler (Engine.Reference.Make).
 
-   Same program, same graph, same input — the two engines must produce
-   bit-identical outputs AND bit-identical statistics (rounds, messages,
-   max_edge_bits, total_bits).  This is the executable form of the
-   equivalence argument in engine.ml: the worklist collects exactly the
-   nodes the dense scheduler would step, in the same order, so the whole
-   message schedule coincides. *)
+   The hand-rolled graph zoo that used to live here is now the testkit's
+   "engine" oracle (lib/testkit/oracle.ml): every program through both
+   schedulers on fuzzed instances, bit-identical outputs AND statistics,
+   plus a round budget.  This suite is the thin property declaration over
+   that oracle, keeping only the deterministic tiny-graph edge cases
+   (n = 1, n = 2) the size-ramped fuzzer reaches rarely. *)
 
 open Repro_graph
-open Repro_embedding
 open Repro_congest
+open Repro_testkit
 
-module Diff (P : Engine.PROGRAM) = struct
-  module Fast = Engine.Make (P)
-  module Ref = Engine.Reference.Make (P)
+module Bfs_diff = Oracle.Diff (Prim.Bfs_program)
+module Subtree_diff = Oracle.Diff (Prim.Subtree_program)
+module Broadcast_diff = Oracle.Diff (Prim.Broadcast_program)
 
-  let check ?max_rounds ?bandwidth name g ~(input : P.input array) =
-    let out_ref, st_ref = Ref.run ?max_rounds ?bandwidth g ~input in
-    let out_fast, st_fast = Fast.run ?max_rounds ?bandwidth g ~input in
-    Alcotest.(check bool) (name ^ ": outputs") true (out_ref = out_fast);
-    Alcotest.(check int) (name ^ ": rounds") st_ref.Engine.rounds
-      st_fast.Engine.rounds;
-    Alcotest.(check int)
-      (name ^ ": messages")
-      st_ref.Engine.messages st_fast.Engine.messages;
-    Alcotest.(check int)
-      (name ^ ": max_edge_bits")
-      st_ref.Engine.max_edge_bits st_fast.Engine.max_edge_bits;
-    Alcotest.(check int)
-      (name ^ ": total_bits")
-      st_ref.Engine.total_bits st_fast.Engine.total_bits
-end
-
-module Bfs_diff = Diff (Prim.Bfs_program)
-module Subtree_diff = Diff (Prim.Subtree_program)
-module Ancestor_diff = Diff (Prim.Ancestor_program)
-module Broadcast_diff = Diff (Prim.Broadcast_program)
-module Exchange_diff = Diff (Prim.Exchange_program)
-module Partwise_diff = Diff (Prim.Partwise_program)
-module Collect_diff = Diff (Collective.Collect_program)
-module Partwise_batch_diff = Diff (Collective.Partwise_batch_program)
-
-(* The seeded graph zoo: shapes with very different frontier profiles —
-   a deep cycle (sparse frontier, the event-driven engine's best case), a
-   grid (broad waves), a star (one hot node) and a random triangulation. *)
-let graphs () =
-  [
-    ("cycle64", Embedded.graph (Gen.cycle 64));
-    ("path40", Embedded.graph (Gen.path 40));
-    ("grid7x9", Embedded.graph (Gen.grid ~rows:7 ~cols:9));
-    ("star33", Embedded.graph (Gen.star 33));
-    ("tri150", Embedded.graph (Gen.stacked_triangulation ~seed:11 ~n:150 ()));
-  ]
-
-let spanning g root = fst (fst (Prim.bfs_tree g ~root))
-
-let random_values rng n bound =
-  Array.init n (fun _ -> Repro_util.Rng.int rng bound)
-
-let test_bfs () =
-  List.iter
-    (fun (name, g) ->
-      let n = Graph.n g in
-      (* Single root, and a seeded multi-root forest (the fragment seed
-         structure of the Borůvka phases). *)
-      let single = Array.init n (fun v -> v = 0) in
-      Bfs_diff.check (name ^ " bfs root0") g ~input:single;
-      let rng = Repro_util.Rng.create 42 in
-      let multi = Array.init n (fun _ -> Repro_util.Rng.int rng 10 = 0) in
-      multi.(0) <- true;
-      Bfs_diff.check (name ^ " bfs forest") g ~input:multi)
-    (graphs ())
-
-let test_subtree_and_ancestor () =
-  List.iter
-    (fun (name, g) ->
-      let n = Graph.n g in
-      let parent = spanning g 0 in
-      let rng = Repro_util.Rng.create 7 in
-      let values = random_values rng n 1000 in
-      List.iter
-        (fun op ->
-          let sub =
-            Array.init n (fun v ->
-                { Prim.Subtree_program.parent = parent.(v);
-                  value = values.(v);
-                  op;
-                })
-          in
-          Subtree_diff.check (name ^ " subtree") g ~input:sub;
-          let anc =
-            Array.init n (fun v ->
-                { Prim.Ancestor_program.parent = parent.(v);
-                  value = values.(v);
-                  op;
-                })
-          in
-          Ancestor_diff.check (name ^ " ancestor") g ~input:anc)
-        [ Prim.Sum; Prim.Min; Prim.Max ])
-    (graphs ())
-
-let test_broadcast () =
-  List.iter
-    (fun (name, g) ->
-      let n = Graph.n g in
-      let root = (n / 2) mod n in
-      let parent = spanning g root in
-      let input =
-        Array.init n (fun v ->
-            { Prim.Broadcast_program.parent = parent.(v);
-              value = (if v = root then Some 4242 else None);
-            })
-      in
-      Broadcast_diff.check (name ^ " broadcast") g ~input)
-    (graphs ())
-
-let test_exchange () =
-  List.iter
-    (fun (name, g) ->
-      let n = Graph.n g in
-      let rng = Repro_util.Rng.create 13 in
-      let input =
-        Array.init n (fun v ->
-            Array.to_list
-              (Array.of_seq
-                 (Seq.filter_map
-                    (fun u ->
-                      if Repro_util.Rng.int rng 2 = 0 then
-                        Some (u, Repro_util.Rng.int rng 100)
-                      else None)
-                    (Array.to_seq (Graph.neighbors g v)))))
-      in
-      Exchange_diff.check (name ^ " exchange") g ~input)
-    (graphs ())
-
-let test_partwise_fragments () =
-  List.iter
-    (fun (name, g) ->
-      let n = Graph.n g in
-      let parent = spanning g 0 in
-      let rng = Repro_util.Rng.create 99 in
-      let values = random_values rng n 1000 in
-      (* Fragment-style parts: grow a seeded forest and use each fragment's
-         root as the part id, as the merging phases of Lemma 9 do. *)
-      let roots = Array.init n (fun v -> v = 0 || Repro_util.Rng.int rng 8 = 0) in
-      let (fparent, _), _ = Prim.bfs_forest g ~roots in
-      let part = Array.make n (-1) in
-      let rec part_of v =
-        if part.(v) >= 0 then part.(v)
-        else begin
-          let p = if fparent.(v) = -1 then v else part_of fparent.(v) in
-          part.(v) <- p;
-          p
-        end
-      in
-      for v = 0 to n - 1 do
-        ignore (part_of v)
-      done;
-      List.iter
-        (fun op ->
-          let input =
-            Array.init n (fun v ->
-                { Prim.Partwise_program.parent = parent.(v);
-                  part = part.(v);
-                  value = values.(v);
-                  op;
-                })
-          in
-          Partwise_diff.check (name ^ " partwise") g ~input)
-        [ Prim.Sum; Prim.Min; Prim.Max ])
-    (graphs ())
-
-let test_collect_batch () =
-  List.iter
-    (fun (name, g) ->
-      let n = Graph.n g in
-      let parent = spanning g 0 in
-      let rng = Repro_util.Rng.create 31 in
-      List.iter
-        (fun k ->
-          let ops =
-            Array.init k (fun j ->
-                [| Prim.Sum; Prim.Min; Prim.Max |].(j mod 3))
-          in
-          let input =
-            Array.init n (fun v ->
-                { Collective.Collect_program.parent = parent.(v);
-                  slots = random_values rng k 1000;
-                  ops;
-                })
-          in
-          Collect_diff.check
-            (Printf.sprintf "%s collect k=%d" name k)
-            g ~input)
-        [ 1; 3; 16 ])
-    (graphs ())
-
-let test_partwise_batch () =
-  List.iter
-    (fun (name, g) ->
-      let n = Graph.n g in
-      let parent = spanning g 0 in
-      let rng = Repro_util.Rng.create 32 in
-      let part = Array.init n (fun _ -> Repro_util.Rng.int rng 6) in
-      part.(0) <- 0;
-      List.iter
-        (fun k ->
-          let ops = Array.init k (fun j -> [| Prim.Max; Prim.Min |].(j mod 2)) in
-          let input =
-            Array.init n (fun v ->
-                { Collective.Partwise_batch_program.parent = parent.(v);
-                  part = part.(v);
-                  values = random_values rng k 1000;
-                  ops;
-                })
-          in
-          Partwise_batch_diff.check
-            (Printf.sprintf "%s partwise-batch k=%d" name k)
-            g ~input)
-        [ 1; 4 ])
-    (graphs ())
+let check name (_, err) =
+  match err with
+  | None -> ()
+  | Some msg -> Alcotest.fail (name ^ ": " ^ msg)
 
 let test_single_node_and_tiny () =
   let g1 = Graph.of_edges ~n:1 [] in
-  Bfs_diff.check "n=1 bfs" g1 ~input:[| true |];
-  Subtree_diff.check "n=1 subtree" g1
-    ~input:[| { Prim.Subtree_program.parent = -1; value = 5; op = Prim.Sum } |];
+  check "n=1 bfs" (Bfs_diff.check g1 ~input:[| true |]);
+  check "n=1 subtree"
+    (Subtree_diff.check g1
+       ~input:[| { Prim.Subtree_program.parent = -1; value = 5; op = Prim.Sum } |]);
   let g2 = Graph.of_edges ~n:2 [ (0, 1) ] in
-  Bfs_diff.check "n=2 bfs" g2 ~input:[| true; false |];
-  Broadcast_diff.check "n=2 broadcast" g2
-    ~input:
-      [|
-        { Prim.Broadcast_program.parent = -1; value = Some 9 };
-        { Prim.Broadcast_program.parent = 0; value = None };
-      |]
+  check "n=2 bfs" (Bfs_diff.check g2 ~input:[| true; false |]);
+  check "n=2 broadcast"
+    (Broadcast_diff.check g2
+       ~input:
+         [|
+           { Prim.Broadcast_program.parent = -1; value = Some 9 };
+           { Prim.Broadcast_program.parent = 0; value = None };
+         |])
 
 let suites =
-  [
-    ( "engine-equiv",
-      [
-        Alcotest.test_case "bfs: event-driven = reference" `Quick test_bfs;
-        Alcotest.test_case "subtree/ancestor agg: event-driven = reference"
-          `Quick test_subtree_and_ancestor;
-        Alcotest.test_case "broadcast: event-driven = reference" `Quick
-          test_broadcast;
-        Alcotest.test_case "exchange: event-driven = reference" `Quick
-          test_exchange;
-        Alcotest.test_case "partwise fragments: event-driven = reference"
-          `Quick test_partwise_fragments;
-        Alcotest.test_case "batched collect: event-driven = reference" `Quick
-          test_collect_batch;
-        Alcotest.test_case "batched partwise: event-driven = reference" `Quick
-          test_partwise_batch;
-        Alcotest.test_case "tiny graphs: event-driven = reference" `Quick
-          test_single_node_and_tiny;
-      ] );
-  ]
+  Suite.make __MODULE__
+    [
+      Suite.property ~count:40 ~max_size:72 ~seed:101 ~oracles:[ "engine" ]
+        "event-driven = reference on fuzzed instances";
+      Alcotest.test_case "tiny graphs: event-driven = reference" `Quick
+        test_single_node_and_tiny;
+    ]

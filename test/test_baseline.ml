@@ -118,9 +118,8 @@ let prop_awerbuch_matches_dfs_property =
       Algo.is_dfs_tree g ~root:0 ~parent:r.Awerbuch.parent)
 
 let suites =
-  [
-    ( "baseline",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "awerbuch valid" `Quick test_awerbuch_valid;
         Alcotest.test_case "awerbuch linear rounds" `Quick test_awerbuch_linear_rounds;
         Alcotest.test_case "awerbuch single node" `Quick test_awerbuch_single_node;
@@ -134,5 +133,4 @@ let suites =
         Alcotest.test_case "random fails at low samples" `Quick
           test_random_sep_low_samples_fails_sometimes;
         qtest prop_awerbuch_matches_dfs_property;
-      ] );
-  ]
+    ]

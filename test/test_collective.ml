@@ -7,10 +7,10 @@
       [learn_batch]/[agg_batch]/[partwise_batch] equals k scalar runs of
       the corresponding [Prim] primitive (and a centralized reduction).
    2. The refactored [Composed] subroutines are bit-identical to
-      [Composed.Reference] — the serial pre-refactor choreography kept as
-      the oracle — on seeded graph families, while the [engine_runs]
-      observability counter shows the >= 3x batching win for
-      mark-path / detect-face / hidden.
+      [Composed.Reference] AND to the centralized algorithms, with the
+      >= 3x batching win intact — this used to be a hand-rolled family
+      sweep and is now the testkit's "collective" and "faces" oracles
+      (lib/testkit/oracle.ml), declared below as fuzz properties.
    3. Round accounting scales with the communication-tree depth (the
       paper's Õ(D) headline), not with n: shallow families keep executed
       rounds flat as n grows, deep families pay O(depth + k). *)
@@ -19,6 +19,7 @@ open Repro_graph
 open Repro_embedding
 open Repro_tree
 open Repro_congest
+open Repro_testkit
 
 (* ------------------------------------------------------------------ *)
 (* 1. Batched collectives vs scalar primitives.                        *)
@@ -163,10 +164,12 @@ let test_batch_rounds_pipelined () =
     (batched <= 2 * (2 + k) + 4 && serial >= 3 * k)
 
 (* ------------------------------------------------------------------ *)
-(* 2. Differential: batched [Composed] vs the serial oracle            *)
-(*    [Composed.Reference].  Same subroutine cores, different          *)
-(*    communication schedules — outputs must be bit-identical, while   *)
-(*    [engine_runs] exposes the batching win.                          *)
+(* 2. Differential (batched = serial oracle = centralized): the         *)
+(*    "collective" and "faces" oracles over fuzzed instances.           *)
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Round accounting scales with communication-tree depth, not n.    *)
 (* ------------------------------------------------------------------ *)
 
 let knowledge_of tree =
@@ -199,124 +202,6 @@ let setup ?(spanning = Spanning.Bfs) emb =
   let parent = Spanning.make spanning g ~root in
   let tree = Rooted.build ~rot:(Embedded.rot emb) ~root parent in
   (g, root, parent, tree)
-
-let families () =
-  [
-    ("tri60/bfs", Gen.stacked_triangulation ~seed:4 ~n:60 (), Spanning.Bfs);
-    ("tri60/rand", Gen.stacked_triangulation ~seed:4 ~n:60 (), Spanning.Random 7);
-    ("tri90/dfs", Gen.stacked_triangulation ~seed:9 ~n:90 (), Spanning.Dfs);
-    ("grid6x6", Gen.grid ~rows:6 ~cols:6, Spanning.Bfs);
-    ("wheel14", Gen.wheel 14, Spanning.Dfs);
-  ]
-
-let check_ratio name ~(oracle : Composed.stats) ~(batched : Composed.stats) r =
-  Alcotest.(check bool)
-    (Printf.sprintf "%s: oracle %d runs >= %dx batched %d runs" name
-       oracle.Composed.engine_runs r batched.Composed.engine_runs)
-    true
-    (oracle.Composed.engine_runs >= r * batched.Composed.engine_runs)
-
-let test_tree_routines_equal_reference () =
-  List.iter
-    (fun (name, emb, spanning) ->
-      let g, _, _, tree = setup ~spanning emb in
-      let tk = knowledge_of tree in
-      let lv = local_view_of emb tree in
-      let n = Graph.n g in
-      let rng = Repro_util.Rng.create 51 in
-      for _ = 1 to 5 do
-        let u = Repro_util.Rng.int rng n and v = Repro_util.Rng.int rng n in
-        let w, _ = Composed.lca g tk ~u ~v in
-        let w', _ = Composed.Reference.lca g tk ~u ~v in
-        Alcotest.(check int) (name ^ ": lca") w' w;
-        let marked, st = Composed.mark_path g tk ~u ~v in
-        let marked', st' = Composed.Reference.mark_path g tk ~u ~v in
-        Alcotest.(check (array bool)) (name ^ ": mark_path") marked' marked;
-        check_ratio (name ^ ": mark_path") ~oracle:st' ~batched:st 3
-      done;
-      let nr = Repro_util.Rng.int rng n in
-      let rr, _ = Composed.reroot g lv ~new_root:nr in
-      let rr', _ = Composed.Reference.reroot g lv ~new_root:nr in
-      Alcotest.(check (pair (array int) (array int))) (name ^ ": reroot") rr' rr;
-      let ws, _ = Composed.weights g lv in
-      let ws', _ = Composed.Reference.weights g lv in
-      Alcotest.(check bool) (name ^ ": weights") true (ws = ws'))
-    (families ())
-
-let test_face_routines_equal_reference () =
-  List.iter
-    (fun (name, emb, spanning) ->
-      let g, _, _, tree = setup ~spanning emb in
-      let lv = local_view_of emb tree in
-      let cfg =
-        Repro_core.Config.of_parts ~graph:g ~rot:(Embedded.rot emb) ~tree ()
-      in
-      let edges =
-        List.filteri (fun i _ -> i < 4) (Repro_core.Config.fundamental_edges cfg)
-      in
-      List.iter
-        (fun (u, v) ->
-          let fm, st = Composed.detect_face g lv ~u ~v in
-          let fm', st' = Composed.Reference.detect_face g lv ~u ~v in
-          Alcotest.(check (array bool)) (name ^ ": face border")
-            fm'.Composed.border fm.Composed.border;
-          Alcotest.(check (array bool)) (name ^ ": face inside")
-            fm'.Composed.inside fm.Composed.inside;
-          check_ratio (name ^ ": detect_face") ~oracle:st' ~batched:st 3;
-          (* Hidden on the first interior leaf, when the face has one. *)
-          let interior = Repro_core.Faces.interior_reference cfg ~u ~v in
-          match List.filter (Rooted.is_leaf tree) interior with
-          | [] -> ()
-          | t :: _ ->
-              let h, sth = Composed.hidden g lv ~u ~v ~t in
-              let h', sth' = Composed.Reference.hidden g lv ~u ~v ~t in
-              Alcotest.(check bool) (name ^ ": hidden") true (h = h');
-              check_ratio (name ^ ": hidden") ~oracle:sth' ~batched:sth 3)
-        edges)
-    (families ())
-
-let test_pipeline_equals_reference () =
-  List.iter
-    (fun (name, emb, spanning) ->
-      let g, root, parent, tree = setup ~spanning emb in
-      let n = Graph.n g in
-      let rot_orders = Array.init n (Rotation.order (Embedded.rot emb)) in
-      let depth = Array.init n (Rooted.depth tree) in
-      let children = Array.init n (Rooted.children tree) in
-      let orders, phases, _ = Composed.dfs_orders g ~children ~parent ~depth ~root in
-      let orders', phases', _ =
-        Composed.Reference.dfs_orders g ~children ~parent ~depth ~root
-      in
-      Alcotest.(check (array int)) (name ^ ": pi_left")
-        orders'.Composed.pi_left orders.Composed.pi_left;
-      Alcotest.(check (array int)) (name ^ ": pi_right")
-        orders'.Composed.pi_right orders.Composed.pi_right;
-      Alcotest.(check int) (name ^ ": phases") phases' phases;
-      let lv, _ = Composed.phase1 g ~rot_orders ~parent ~depth ~root in
-      let lv', _ = Composed.Reference.phase1 g ~rot_orders ~parent ~depth ~root in
-      Alcotest.(check bool) (name ^ ": phase1") true
-        (lv.Composed.lsize = lv'.Composed.lsize
-        && lv.Composed.lpi_l = lv'.Composed.lpi_l
-        && lv.Composed.lpi_r = lv'.Composed.lpi_r);
-      let sep, st = Composed.separator_phase3 g ~rot_orders ~parent ~depth ~root in
-      let sep', st' =
-        Composed.Reference.separator_phase3 g ~rot_orders ~parent ~depth ~root
-      in
-      Alcotest.(check bool) (name ^ ": separator_phase3") true (sep = sep');
-      Alcotest.(check bool)
-        (Printf.sprintf "%s: batched %d rounds < oracle %d rounds" name
-           st.Composed.rounds st'.Composed.rounds)
-        true
-        (st.Composed.rounds < st'.Composed.rounds);
-      let sf, sfp, _ = Composed.spanning_forest g () in
-      let sf', sfp', _ = Composed.Reference.spanning_forest g () in
-      Alcotest.(check bool) (name ^ ": spanning_forest") true
-        (sf = sf' && sfp = sfp'))
-    (families ())
-
-(* ------------------------------------------------------------------ *)
-(* 3. Round accounting scales with communication-tree depth, not n.    *)
-(* ------------------------------------------------------------------ *)
 
 let tree_depth tk = Array.fold_left max 0 tk.Composed.depth
 
@@ -393,28 +278,25 @@ let test_hidden_rounds_scale_with_depth () =
     [ (r_shallow, d_shallow); (r_deep, d_deep) ]
 
 let suites =
-  [
-    ( "collective",
-      [
-        Alcotest.test_case "learn_batch = k scalar learns" `Quick
-          test_learn_batch_matches_scalar;
-        Alcotest.test_case "agg_batch = centralized reduce" `Quick
-          test_agg_batch_matches_centralized;
-        Alcotest.test_case "partwise_batch = k scalar partwise" `Quick
-          test_partwise_batch_matches_scalar;
-        Alcotest.test_case "scalar primitives via ctx" `Quick
-          test_scalar_primitives_via_ctx;
-        Alcotest.test_case "batched rounds are O(depth + k)" `Quick
-          test_batch_rounds_pipelined;
-        Alcotest.test_case "lca/mark_path/reroot/weights = oracle" `Quick
-          test_tree_routines_equal_reference;
-        Alcotest.test_case "detect_face/hidden = oracle, >=3x fewer runs"
-          `Quick test_face_routines_equal_reference;
-        Alcotest.test_case "orders/phase1/separator/forest = oracle" `Quick
-          test_pipeline_equals_reference;
-        Alcotest.test_case "reroot rounds scale with depth" `Quick
-          test_reroot_rounds_scale_with_depth;
-        Alcotest.test_case "hidden rounds scale with depth" `Quick
-          test_hidden_rounds_scale_with_depth;
-      ] );
-  ]
+  Suite.make __MODULE__
+    [
+      Alcotest.test_case "learn_batch = k scalar learns" `Quick
+        test_learn_batch_matches_scalar;
+      Alcotest.test_case "agg_batch = centralized reduce" `Quick
+        test_agg_batch_matches_centralized;
+      Alcotest.test_case "partwise_batch = k scalar partwise" `Quick
+        test_partwise_batch_matches_scalar;
+      Alcotest.test_case "scalar primitives via ctx" `Quick
+        test_scalar_primitives_via_ctx;
+      Alcotest.test_case "batched rounds are O(depth + k)" `Quick
+        test_batch_rounds_pipelined;
+      Suite.property ~count:30 ~max_size:64 ~seed:202
+        ~oracles:[ "collective" ]
+        "lca/mark-path/reroot/weights = oracle = centralized, >=3x fewer runs";
+      Suite.property ~count:30 ~max_size:56 ~seed:203 ~oracles:[ "faces" ]
+        "detect-face/hidden = oracle = centralized";
+      Alcotest.test_case "reroot rounds scale with depth" `Quick
+        test_reroot_rounds_scale_with_depth;
+      Alcotest.test_case "hidden rounds scale with depth" `Quick
+        test_hidden_rounds_scale_with_depth;
+    ]

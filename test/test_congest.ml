@@ -239,9 +239,8 @@ let prop_partwise_matches_reference =
         (Array.mapi (fun v a -> a = Hashtbl.find expected parts.(v)) answers))
 
 let suites =
-  [
-    ( "congest",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "bfs tree grid" `Quick test_bfs_tree_grid;
         Alcotest.test_case "bfs single node" `Quick test_bfs_single_node;
         Alcotest.test_case "subtree sums" `Quick test_subtree_sums;
@@ -261,5 +260,4 @@ let suites =
         Alcotest.test_case "rounds accountant" `Quick test_rounds_accountant;
         Alcotest.test_case "subroutine charges" `Quick test_rounds_subroutine_charges;
         qtest prop_partwise_matches_reference;
-      ] );
-  ]
+    ]

@@ -113,9 +113,8 @@ let prop_mis_always_independent =
       Decomposition.is_independent g mis && mis <> [])
 
 let suites =
-  [
-    ( "decomposition",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "grid" `Quick test_build_grid;
         Alcotest.test_case "tree input" `Quick test_build_tree_input;
         Alcotest.test_case "single piece" `Quick test_small_graph_single_piece;
@@ -129,5 +128,4 @@ let suites =
         qtest prop_bounded_diameter_valid;
         qtest prop_decomposition_valid;
         qtest prop_mis_always_independent;
-      ] );
-  ]
+    ]

@@ -145,9 +145,8 @@ let prop_dfs_matches_reachability =
       !ok)
 
 let suites =
-  [
-    ( "dfs",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "families" `Quick test_dfs_families;
         Alcotest.test_case "root and depths" `Quick test_dfs_root_and_depths;
         Alcotest.test_case "phases logarithmic" `Quick test_dfs_phases_logarithmic;
@@ -158,5 +157,4 @@ let suites =
         Alcotest.test_case "join anchor deepest" `Quick test_join_anchor_deepest;
         qtest prop_dfs_always_valid;
         qtest prop_dfs_matches_reachability;
-      ] );
-  ]
+    ]

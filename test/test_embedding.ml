@@ -159,9 +159,8 @@ let prop_faces_partition_darts =
       List.fold_left (fun acc f -> acc + List.length f) 0 faces = 2 * Graph.m g)
 
 let suites =
-  [
-    ( "embedding",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "generators valid" `Quick test_generators_valid;
         Alcotest.test_case "generators straight-line" `Quick
           test_generators_straight_line;
@@ -179,5 +178,4 @@ let suites =
         qtest prop_stacked_valid;
         qtest prop_grid_diag_valid;
         qtest prop_faces_partition_darts;
-      ] );
-  ]
+    ]

@@ -220,9 +220,8 @@ let test_of_part_requires_connected () =
   | exception Invalid_argument _ -> ()
 
 let suites =
-  [
-    ( "faces",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "fundamental edges" `Quick test_fundamental_edges_are_nontree;
         Alcotest.test_case "border is tree path" `Quick test_border_is_tree_path;
         Alcotest.test_case "classify cases" `Quick test_classify_cases;
@@ -240,5 +239,4 @@ let suites =
         qtest prop_local_interior_matches_reference;
         qtest prop_is_inside_matches_reference;
         qtest prop_interior_matches_geometry;
-      ] );
-  ]
+    ]

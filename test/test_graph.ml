@@ -128,9 +128,8 @@ let prop_component_sizes_sum =
       Array.fold_left ( + ) 0 (Algo.component_sizes g) = n)
 
 let suites =
-  [
-    ( "graph",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "dedup" `Quick test_build_dedup;
         Alcotest.test_case "reject loop" `Quick test_build_rejects_loop;
         Alcotest.test_case "reject range" `Quick test_build_rejects_range;
@@ -149,5 +148,4 @@ let suites =
         qtest prop_dfs_tree_valid;
         qtest prop_bfs_dist_triangle_ineq;
         qtest prop_component_sizes_sum;
-      ] );
-  ]
+    ]

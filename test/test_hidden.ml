@@ -118,9 +118,8 @@ let prop_subtree_part_consistency =
         (heavy_faces cfg))
 
 let suites =
-  [
-    ( "hidden",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "hiding edges well-formed" `Quick
           test_hiding_edges_well_formed;
         Alcotest.test_case "is_hidden consistent" `Quick test_hidden_iff_hiding_edges;
@@ -128,5 +127,4 @@ let suites =
           test_maximal_hiding_edge_is_maximal;
         Alcotest.test_case "runs on tiny faces" `Quick test_unhidden_on_empty_faces;
         qtest prop_subtree_part_consistency;
-      ] );
-  ]
+    ]

@@ -90,9 +90,8 @@ let test_bounded_diameter_deterministic () =
   check_all "bounded_diameter" ( = ) (with_modes run)
 
 let suites =
-  [
-    ( "parallel",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "dfs sequential-equivalent" `Quick test_dfs_deterministic;
         Alcotest.test_case "decomposition sequential-equivalent" `Quick
           test_decomposition_deterministic;
@@ -100,5 +99,4 @@ let suites =
           test_find_partition_deterministic;
         Alcotest.test_case "bounded_diameter sequential-equivalent" `Quick
           test_bounded_diameter_deterministic;
-      ] );
-  ]
+    ]

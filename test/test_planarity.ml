@@ -153,9 +153,8 @@ let prop_dfs_works_on_dmp_embeddings =
         Repro_core.Dfs.verify emb ~root:0 r)
 
 let suites =
-  [
-    ( "planarity",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "biconnected blocks" `Quick test_biconnected_blocks;
         Alcotest.test_case "embeds families (shuffled)" `Quick
           test_embeds_all_families_shuffled;
@@ -171,5 +170,4 @@ let suites =
         qtest prop_generated_planar_always_embedded;
         qtest prop_separator_works_on_dmp_embeddings;
         qtest prop_dfs_works_on_dmp_embeddings;
-      ] );
-  ]
+    ]

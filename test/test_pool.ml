@@ -123,9 +123,8 @@ let test_chunked_claims_cover_uneven_batches () =
         [ 2; 3; 11; 12; 13; 24; 25; 1000 ])
 
 let suites =
-  [
-    ( "pool",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
         Alcotest.test_case "jobs=1 bypasses domains" `Quick test_jobs_one_bypasses;
         Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
@@ -139,5 +138,4 @@ let suites =
         Alcotest.test_case "seq_grain fallback" `Quick test_seq_grain_fallback;
         Alcotest.test_case "chunked claims cover uneven batches" `Quick
           test_chunked_claims_cover_uneven_batches;
-      ] );
-  ]
+    ]

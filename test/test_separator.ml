@@ -195,9 +195,8 @@ let prop_phase3_weight_in_range_never_fails =
       if r.Separator.phase = "3-face" then r.Separator.candidates_tried = 1 else true)
 
 let suites =
-  [
-    ( "separator",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "planar families" `Quick test_grid_families;
         Alcotest.test_case "tree inputs" `Quick test_tree_inputs;
         Alcotest.test_case "star uses tree phase" `Quick test_star_phase_is_tree;
@@ -215,5 +214,4 @@ let suites =
         qtest prop_shrink_preserves_balance;
         qtest prop_separator_always_valid;
         qtest prop_phase3_weight_in_range_never_fails;
-      ] );
-  ]
+    ]

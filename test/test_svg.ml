@@ -68,14 +68,12 @@ let prop_render_counts =
       && count_sub doc "<line" = Graph.m (Embedded.graph emb))
 
 let suites =
-  [
-    ( "svg",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "grid render" `Quick test_render_grid;
         Alcotest.test_case "highlight + closing" `Quick test_highlight_and_closing;
         Alcotest.test_case "tutte layout" `Quick test_tutte_layout_for_coordinate_free;
         Alcotest.test_case "empty graph" `Quick test_empty_graph;
         Alcotest.test_case "write file" `Quick test_write_file;
         qtest prop_render_counts;
-      ] );
-  ]
+    ]

@@ -205,9 +205,8 @@ let prop_orders_subtree_contiguous =
       !ok)
 
 let suites =
-  [
-    ( "tree",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "bfs depths" `Quick test_bfs_tree_depths;
         Alcotest.test_case "sizes sum" `Quick test_sizes_sum;
         Alcotest.test_case "orders permutation" `Quick test_orders_permutation;
@@ -223,5 +222,4 @@ let suites =
         qtest prop_lca_matches_naive;
         qtest prop_kth_ancestor;
         qtest prop_orders_subtree_contiguous;
-      ] );
-  ]
+    ]

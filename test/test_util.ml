@@ -154,9 +154,8 @@ let prop_union_find_transitive =
         pairs)
 
 let suites =
-  [
-    ( "util",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
         Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
         Alcotest.test_case "rng range" `Quick test_rng_range;
@@ -173,5 +172,4 @@ let suites =
         Alcotest.test_case "table arity" `Quick test_table_arity;
         qtest prop_percentile_monotone;
         qtest prop_union_find_transitive;
-      ] );
-  ]
+    ]

@@ -130,9 +130,8 @@ let test_p_term_matches_subtree_count () =
     (Config.fundamental_edges cfg)
 
 let suites =
-  [
-    ( "weights",
-      [
+  Repro_testkit.Suite.make __MODULE__
+    [
         Alcotest.test_case "exact on grids" `Quick test_weights_grid;
         Alcotest.test_case "exact on wheel/fan/cycle" `Quick test_weights_wheel_fan;
         Alcotest.test_case "outside split partitions" `Quick
@@ -142,5 +141,4 @@ let suites =
         qtest prop_weights_exact_everywhere;
         qtest prop_weight_bounds_interior;
         qtest prop_lemma5_soundness;
-      ] );
-  ]
+    ]
