@@ -31,6 +31,16 @@ let output t =
   Table.print t;
   recorded := (!current_exp, t) :: !recorded
 
+(* Machine-readable metrics documents (usually [Trace.to_metrics]) attached
+   to the current experiment; the CI bench-diff gate compares these exactly
+   against the committed baseline, unlike wall-clock which gets a
+   tolerance. *)
+let metrics_recorded : (string * (string * Repro_trace.Json.t)) list ref =
+  ref []
+
+let record_metrics key j =
+  metrics_recorded := (!current_exp, (key, j)) :: !metrics_recorded
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -63,8 +73,17 @@ let write_json ~path ~jobs ~timings =
       |> List.filter (fun (e, _) -> e = name)
       |> List.map (fun (_, t) -> table_json t)
     in
-    Printf.sprintf "{\"name\":%s,\"wall_seconds\":%.3f,\"tables\":%s}"
-      (json_str name) wall (json_list tables)
+    let metrics =
+      List.rev !metrics_recorded
+      |> List.filter (fun (e, _) -> e = name)
+      |> List.map (fun (_, (k, j)) ->
+             json_str k ^ ":" ^ Repro_trace.Json.to_string j)
+    in
+    Printf.sprintf
+      "{\"name\":%s,\"wall_seconds\":%.3f,\"metrics\":{%s},\"tables\":%s}"
+      (json_str name) wall
+      (String.concat "," metrics)
+      (json_list tables)
   in
   let oc = open_out path in
   Printf.fprintf oc "{\"jobs\":%d,\"experiments\":%s}\n" jobs
@@ -1090,6 +1109,108 @@ let f3 ~short () =
   output t
 
 (* ------------------------------------------------------------------ *)
+(* E14: per-phase round attribution via the trace layer.               *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately the same sizes in --short and full mode: the CI bench-diff
+   job runs --short and compares these metrics exactly against the
+   committed full-run baseline, so both modes must produce identical
+   numbers.  The metrics are also independent of --jobs (per-part traces
+   merge deterministically), which the trace test suite pins down. *)
+let e14 ~jobs () =
+  let module Trace = Repro_trace.Trace in
+  let module Json = Repro_trace.Json in
+  section "E14  Per-phase round attribution (trace layer)";
+  pf "expected: span self-times partition the charged total; identical for every --jobs\n";
+  List.iter
+    (fun (family, n, seed) ->
+      let emb = Gen.by_family ~seed family ~n in
+      let g = Embedded.graph emb in
+      let d = Algo.diameter g in
+      let tracer = Trace.create () in
+      let rounds = Rounds.create ~trace:tracer ~n:(Graph.n g) ~d () in
+      let root = Embedded.outer emb in
+      let _ =
+        Pool.with_pool ~jobs (fun pool -> Dfs.run ~rounds ~pool emb ~root)
+      in
+      let metrics = Trace.to_metrics tracer in
+      let iname = Printf.sprintf "%s-%d-%d" family n seed in
+      record_metrics iname metrics;
+      (* Exclusive (self) attribution per span name, in first-visit order
+         over the aggregated tree. *)
+      let order = ref [] in
+      let acc = Hashtbl.create 16 in
+      let touch name =
+        match Hashtbl.find_opt acc name with
+        | Some cell -> cell
+        | None ->
+          let cell = (ref 0, ref 0.0, ref 0) in
+          Hashtbl.replace acc name cell;
+          order := name :: !order;
+          cell
+      in
+      let int_of = function Json.Int i -> i | _ -> 0 in
+      let float_of = function
+        | Json.Float f -> f
+        | Json.Int i -> float_of_int i
+        | _ -> 0.0
+      in
+      let rec walk j =
+        let name =
+          match Json.member "name" j with Some (Json.String s) -> s | _ -> "?"
+        in
+        let count, charged, pa = touch name in
+        (count :=
+           !count + match Json.member "count" j with Some v -> int_of v | None -> 0);
+        (match Json.member "self" j with
+        | Some self ->
+          (charged :=
+             !charged
+             +.
+             match Json.member "charged_rounds" self with
+             | Some v -> float_of v
+             | None -> 0.0);
+          pa :=
+            !pa
+            + (match Json.member "pa_units" self with
+              | Some v -> int_of v
+              | None -> 0)
+        | None -> ());
+        match Json.member "children" j with
+        | Some (Json.List kids) -> List.iter walk kids
+        | _ -> ()
+      in
+      walk metrics;
+      let grand_total =
+        match Json.member "charged_rounds" metrics with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int i) -> float_of_int i
+        | _ -> 0.0
+      in
+      let t =
+        Table.create
+          ~title:(Printf.sprintf "E14 %s (total %.0f charged rounds)" iname grand_total)
+          [ "span"; "spans"; "self charged"; "self pa"; "share" ]
+      in
+      Table.set_align t 0 Table.Left;
+      List.iter
+        (fun name ->
+          let count, charged, pa = Hashtbl.find acc name in
+          Table.add_row t
+            [
+              name;
+              Table.fmt_int !count;
+              Printf.sprintf "%.0f" !charged;
+              Table.fmt_int !pa;
+              (if grand_total > 0.0 then
+                 Printf.sprintf "%.1f%%" (100.0 *. !charged /. grand_total)
+               else "-");
+            ])
+        (List.rev !order);
+      output t)
+    [ ("tgrid", 400, 1); ("grid", 400, 1); ("stacked", 400, 2) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1134,11 +1255,13 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* usage: main [--jobs N] [--short] [experiment]   (experiment: e1..e13,
-     f1..f3, micro; default all).  --short shrinks instance sizes for the CI
-     smoke run. *)
+  (* usage: main [--jobs N] [--short] [--out PATH] [experiment]
+     (experiment: e1..e14, f1..f3, micro; default all).  --short shrinks
+     instance sizes for the CI smoke run; --out overrides the JSON dump
+     path (default BENCH_4.json). *)
   let jobs = ref (Pool.default_jobs ()) in
   let short = ref false in
+  let out = ref "BENCH_4.json" in
   let only = ref None in
   let argc = Array.length Sys.argv in
   let i = ref 1 in
@@ -1149,6 +1272,10 @@ let () =
       incr i
     | "--jobs" -> invalid_arg "--jobs needs an argument"
     | "--short" -> short := true
+    | "--out" when !i + 1 < argc ->
+      out := Sys.argv.(!i + 1);
+      incr i
+    | "--out" -> invalid_arg "--out needs an argument"
     | name -> only := Some name);
     incr i
   done;
@@ -1181,7 +1308,8 @@ let () =
   run "e11" (e11 ~jobs:!jobs ~short:!short);
   run "e12" (e12 ~short:!short);
   run "e13" (e13 ~short:!short);
+  run "e14" (e14 ~jobs:!jobs);
   run "f3" (f3 ~short:!short);
   run "micro" micro;
-  write_json ~path:"BENCH_3.json" ~jobs:!jobs ~timings:(List.rev !timings);
+  write_json ~path:!out ~jobs:!jobs ~timings:(List.rev !timings);
   pf "\nAll experiments complete.\n"

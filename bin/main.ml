@@ -62,6 +62,61 @@ let edges_arg =
   in
   Arg.(value & opt (some string) None & info [ "edges" ] ~docv:"FILE" ~doc)
 
+(* ------------------------------------------------------------------ *)
+(* Tracing (the [--trace*] family, shared by sep/dfs/bdd)               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  let doc = "Print the span-tree summary of the run (structured tracing)." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_chrome_arg =
+  let doc =
+    "Write the run's trace as Chrome-trace (Perfetto) JSON to $(docv).  The \
+     time axis is virtual (charged + executed rounds), so traces are \
+     deterministic and diffable."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-chrome" ] ~docv:"FILE" ~doc)
+
+let trace_metrics_arg =
+  let doc = "Write the run's aggregated per-span metrics JSON to $(docv)." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-metrics" ] ~docv:"FILE" ~doc)
+
+(* A tracer is allocated only when some trace output was requested, so the
+   default path stays the zero-cost [None] pipeline end to end. *)
+let tracer_of_flags ~trace ~chrome ~metrics =
+  if trace || chrome <> None || metrics <> None then
+    Some (Repro_trace.Trace.create ())
+  else None
+
+let write_text_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let emit_trace ~trace ~chrome ~metrics tracer =
+  match tracer with
+  | None -> ()
+  | Some tr ->
+    if trace then Format.printf "@.%a@." Repro_trace.Trace.pp tr;
+    Option.iter
+      (fun path ->
+        write_text_file path (Repro_trace.Trace.to_chrome_string tr);
+        Printf.printf "chrome trace       : %s\n" path)
+      chrome;
+    Option.iter
+      (fun path ->
+        write_text_file path (Repro_trace.Trace.to_metrics_string tr);
+        Printf.printf "metrics json       : %s\n" path)
+      metrics
+
 let load_edge_list path =
   let ic = open_in path in
   let edges = ref [] and max_v = ref (-1) in
@@ -138,11 +193,12 @@ let svg_arg =
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
 let sep_cmd =
-  let run family n seed edges tree shrink verbose svg =
+  let run family n seed edges tree shrink verbose svg trace chrome metrics =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
     let cfg = Config.of_embedded ~spanning:(spanning_of_string seed tree) emb in
-    let rounds = Rounds.create ~n:(Graph.n g) ~d () in
+    let tracer = tracer_of_flags ~trace ~chrome ~metrics in
+    let rounds = Rounds.create ?trace:tracer ~n:(Graph.n g) ~d () in
     let r = Separator.find ~rounds cfg in
     let verdict = Check.check_separator cfg r.Separator.separator in
     Printf.printf "\nseparator phase    : %s (%d candidate(s))\n" r.Separator.phase
@@ -167,12 +223,14 @@ let sep_cmd =
         ?closing:r.Separator.endpoints emb ~path;
       Printf.printf "svg written       : %s\n" path
     | None -> ());
+    emit_trace ~trace ~chrome ~metrics tracer;
     exit (if verdict.Check.valid then 0 else 1)
   in
   let term =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ tree_arg
-      $ shrink_arg $ verbose_arg $ svg_arg)
+      $ shrink_arg $ verbose_arg $ svg_arg $ trace_arg $ trace_chrome_arg
+      $ trace_metrics_arg)
   in
   Cmd.v
     (Cmd.info "sep" ~doc:"Compute and verify a deterministic cycle separator")
@@ -191,11 +249,12 @@ let compare_arg =
   Arg.(value & flag & info [ "compare-awerbuch" ] ~doc)
 
 let dfs_cmd =
-  let run family n seed edges root jobs compare_awerbuch =
+  let run family n seed edges root jobs compare_awerbuch trace chrome metrics =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
     let root = match root with Some r -> r | None -> Embedded.outer emb in
-    let rounds = Rounds.create ~n:(Graph.n g) ~d () in
+    let tracer = tracer_of_flags ~trace ~chrome ~metrics in
+    let rounds = Rounds.create ?trace:tracer ~n:(Graph.n g) ~d () in
     let r =
       Repro_util.Pool.with_pool ~jobs (fun pool -> Dfs.run ~rounds ~pool emb ~root)
     in
@@ -212,12 +271,14 @@ let dfs_cmd =
       Printf.printf "awerbuch valid     : %b\n"
         (Algo.is_dfs_tree g ~root ~parent:aw.Awerbuch.parent)
     end;
+    emit_trace ~trace ~chrome ~metrics tracer;
     exit (if ok then 0 else 1)
   in
   let term =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ root_arg
-      $ jobs_arg $ compare_arg)
+      $ jobs_arg $ compare_arg $ trace_arg $ trace_chrome_arg
+      $ trace_metrics_arg)
   in
   Cmd.v
     (Cmd.info "dfs" ~doc:"Compute a DFS tree with the deterministic Õ(D) algorithm")
@@ -240,18 +301,25 @@ let by_size_arg =
   Arg.(value & flag & info [ "by-size" ] ~doc)
 
 let bdd_cmd =
-  let run family n seed edges target piece by_size jobs =
+  let run family n seed edges target piece by_size jobs trace chrome metrics =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
+    let tracer = tracer_of_flags ~trace ~chrome ~metrics in
+    let rounds =
+      Option.map
+        (fun tr -> Rounds.create ~trace:tr ~n:(Graph.n g) ~d ())
+        tracer
+    in
     let t, ok =
       Repro_util.Pool.with_pool ~jobs (fun pool ->
           if by_size then begin
-            let t = Decomposition.build ~pool ~piece_target:piece emb in
+            let t = Decomposition.build ?rounds ~pool ~piece_target:piece emb in
             (t, Decomposition.check emb ~piece_target:piece t)
           end
           else begin
             let t =
-              Decomposition.bounded_diameter ~pool ~diameter_target:target emb
+              Decomposition.bounded_diameter ?rounds ~pool
+                ~diameter_target:target emb
             in
             (t, Decomposition.check_bounded_diameter emb ~diameter_target:target t)
           end)
@@ -263,12 +331,17 @@ let bdd_cmd =
       (100.0 *. float_of_int t.Decomposition.separator_count
       /. float_of_int (Graph.n g));
     Printf.printf "valid             : %b\n" ok;
+    (match rounds with
+    | Some r -> Printf.printf "charged rounds    : %.0f\n" (Rounds.total r)
+    | None -> ());
+    emit_trace ~trace ~chrome ~metrics tracer;
     exit (if ok then 0 else 1)
   in
   let term =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ target_arg
-      $ piece_arg $ by_size_arg $ jobs_arg)
+      $ piece_arg $ by_size_arg $ jobs_arg $ trace_arg $ trace_chrome_arg
+      $ trace_metrics_arg)
   in
   Cmd.v
     (Cmd.info "bdd"

@@ -399,9 +399,10 @@ type ctx = {
      scalar (grown to the largest k seen) *)
   mutable max_ops : Prim.op array; (* shared all-Max ops, grown likewise *)
   mutable tally : stats;
+  trace : Repro_trace.Trace.t option;
 }
 
-let create g ~parent ~root =
+let create ?trace g ~parent ~root =
   {
     g;
     parent;
@@ -410,12 +411,23 @@ let create g ~parent ~root =
     bottom = [||];
     max_ops = [||];
     tally = no_stats;
+    trace;
   }
 
 let tally ctx = ctx.tally
 let reset ctx = ctx.tally <- no_stats
 
-let record ?collectives ctx s = ctx.tally <- add ctx.tally (of_engine ?collectives s)
+(* The single funnel for every engine run issued on a ctx — scalar
+   primitives, batched collectives, BFS floods — so attributing here covers
+   the whole executed layer. *)
+let record ?collectives ctx s =
+  let inc = of_engine ?collectives s in
+  ctx.tally <- add ctx.tally inc;
+  match ctx.trace with
+  | Some tr ->
+    Repro_trace.Trace.note_exec tr ~rounds:inc.rounds ~messages:inc.messages
+      ~engine_runs:inc.engine_runs ~collectives:inc.collectives
+  | None -> ()
 
 let ensure_scratch ctx k =
   if Array.length ctx.bottom < k then ctx.bottom <- Array.make k (-1);

@@ -71,10 +71,12 @@ end
 
 type ctx
 
-val create : Graph.t -> parent:int array -> root:int -> ctx
+val create :
+  ?trace:Repro_trace.Trace.t -> Graph.t -> parent:int array -> root:int -> ctx
 (** A collective context over a spanning tree given as parent pointers
     ([-1] at [root]).  Builds no messages; the tree schedule is implicit
-    in the pipelined programs. *)
+    in the pipelined programs.  [?trace] attributes every recorded engine
+    run to the tracer's innermost open span (in addition to the tally). *)
 
 val tally : ctx -> stats
 (** Statistics accumulated by every primitive issued on this ctx. *)

@@ -6,6 +6,12 @@
     broadcasts and aggregations; this module executes that decomposition in
     the synchronous engine and returns genuinely measured statistics.
 
+    Every public subroutine takes an optional [?trace] tracer
+    ([Repro_trace.Trace.t]): when given, the subroutine runs under a span
+    named after it ("composed.lca", "composed.mark-path", ...) and every
+    engine run it issues attributes rounds/messages to that span.  The
+    default is no tracer and is bit-identical to the untraced code.
+
     All communication goes through the collective layer ({!Collective}):
     each subroutine builds one communication-tree context and ships its
     scalar broadcasts as slots of batched, pipelined collectives —
@@ -40,6 +46,7 @@ type stats = Collective.stats = {
 type orders = { pi_left : int array; pi_right : int array }
 
 val dfs_orders :
+  ?trace:Repro_trace.Trace.t ->
   Graph.t ->
   children:int array array ->
   parent:int array ->
@@ -64,6 +71,7 @@ type local_view = {
 }
 
 val phase1 :
+  ?trace:Repro_trace.Trace.t ->
   Graph.t ->
   rot_orders:int array array ->
   parent:int array ->
@@ -75,6 +83,7 @@ val phase1 :
     in rotation order, subtree sizes, LEFT/RIGHT positions. *)
 
 val separator_phase3 :
+  ?trace:Repro_trace.Trace.t ->
   Graph.t ->
   rot_orders:int array array ->
   parent:int array ->
@@ -87,29 +96,52 @@ val separator_phase3 :
     range (the remaining phases fall back to the charged-model search).
     The Phase-1 BFS tree is reused for the election pipeline. *)
 
-val weights : Graph.t -> local_view -> ((int * int) * int) list * stats
+val weights :
+  ?trace:Repro_trace.Trace.t ->
+  Graph.t ->
+  local_view ->
+  ((int * int) * int) list * stats
 (** WEIGHTS-PROBLEM (Lemma 12), executed: the weight of every real
     fundamental face (Definition 2), computed by the edge endpoints from
     node-local data plus six one-round exchanges across the fundamental
     edges themselves.  Edges are normalized ([pi_left u < pi_left v]). *)
 
-val lca : Graph.t -> tree_knowledge -> u:int -> v:int -> int * stats
+val lca :
+  ?trace:Repro_trace.Trace.t ->
+  Graph.t ->
+  tree_knowledge ->
+  u:int ->
+  v:int ->
+  int * stats
 (** LCA-PROBLEM (Lemma 14): the LCA of u and v, learned by every node.
     Two batched engine runs (endpoint positions, then the depth-MAX). *)
 
-val mark_path : Graph.t -> tree_knowledge -> u:int -> v:int -> bool array * stats
+val mark_path :
+  ?trace:Repro_trace.Trace.t ->
+  Graph.t ->
+  tree_knowledge ->
+  u:int ->
+  v:int ->
+  bool array * stats
 (** MARK-PATH-PROBLEM (Lemma 13): for every node, whether it lies on the
     tree path between u and v.  Three batched engine runs. *)
 
 type face_membership = { border : bool array; inside : bool array }
 
-val detect_face : Graph.t -> local_view -> u:int -> v:int -> face_membership * stats
+val detect_face :
+  ?trace:Repro_trace.Trace.t ->
+  Graph.t ->
+  local_view ->
+  u:int ->
+  v:int ->
+  face_membership * stats
 (** DETECT-FACE-PROBLEM (Lemma 15), executed: border and interior
     membership of the fundamental face of a real fundamental edge, decided
     locally at every node.  All twelve decision scalars ride the MARK-PATH
     batches: still three engine runs in total. *)
 
 val spanning_forest :
+  ?trace:Repro_trace.Trace.t ->
   Graph.t ->
   ?parts:int array ->
   unit ->
@@ -121,14 +153,24 @@ val spanning_forest :
     (O(log n)) and the measured statistics. *)
 
 val reroot :
-  Graph.t -> local_view -> new_root:int -> (int array * int array) * stats
+  ?trace:Repro_trace.Trace.t ->
+  Graph.t ->
+  local_view ->
+  new_root:int ->
+  (int array * int array) * stats
 (** RE-ROOT-PROBLEM (Lemma 19), executed: the same tree edges re-rooted at
     the given node — one two-slot batched learn plus one ancestor
     aggregation, then local updates.  Returns the new parent and depth
     arrays. *)
 
 val hidden :
-  Graph.t -> local_view -> u:int -> v:int -> t:int -> (int * int) list array * stats
+  ?trace:Repro_trace.Trace.t ->
+  Graph.t ->
+  local_view ->
+  u:int ->
+  v:int ->
+  t:int ->
+  (int * int) list array * stats
 (** HIDDEN-PROBLEM (Lemma 16), executed: for a T-leaf [t] inside the face of
     the fundamental edge (u, v), every node learns which of its incident
     real fundamental edges hide [t] (Definition 4) — detect-face with [t]'s

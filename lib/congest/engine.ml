@@ -157,7 +157,7 @@ end
 let compare_int (a : int) (b : int) = compare a b
 
 module Make (P : PROGRAM) = struct
-  let run ?max_rounds ?bandwidth g ~(input : P.input array) =
+  let run ?trace ?max_rounds ?bandwidth g ~(input : P.input array) =
     let n = Graph.n g in
     if Array.length input <> n then invalid_arg "Engine.run: wrong input arity";
     let bandwidth = match bandwidth with Some b -> b | None -> Bandwidth.default ~n in
@@ -299,6 +299,11 @@ module Make (P : PROGRAM) = struct
           | Some st -> P.output st
           | None -> assert false)
     in
+    (match trace with
+    | Some tr ->
+      Repro_trace.Trace.note_exec tr ~rounds:!round ~messages:!messages
+        ~engine_runs:1 ~collectives:0
+    | None -> ());
     ( outputs,
       {
         rounds = !round;

@@ -52,11 +52,16 @@ exception Did_not_terminate of { max_rounds : int }
 
 module Make (P : PROGRAM) : sig
   val run :
+    ?trace:Repro_trace.Trace.t ->
     ?max_rounds:int ->
     ?bandwidth:int ->
     Graph.t ->
     input:P.input array ->
     P.output array * stats
+  (** [?trace] attributes this run's statistics (rounds, messages, one
+      engine invocation) to the tracer's innermost open span.  The
+      Reference scheduler takes no tracer: it is the differential oracle
+      and stays byte-for-byte at its pre-trace behaviour. *)
 end
 
 (** The original O(n)-per-round scheduler, retained as the differential

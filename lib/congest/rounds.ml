@@ -31,9 +31,12 @@ type t = {
      engine invocations and logical collectives backed the charges. *)
   mutable engine_runs : int;
   mutable collectives : int;
+  (* Optional span tracer riding the accountant: every charge attributes
+     to the tracer's innermost open span.  [None] is the zero-cost path. *)
+  trace : Repro_trace.Trace.t option;
 }
 
-let create ?(params = default_params) ~n ~d () =
+let create ?(params = default_params) ?trace ~n ~d () =
   {
     n = max n 2;
     d = max d 1;
@@ -42,7 +45,10 @@ let create ?(params = default_params) ~n ~d () =
     breakdown = Hashtbl.create 32;
     engine_runs = 0;
     collectives = 0;
+    trace;
   }
+
+let tracer t = t.trace
 
 let log2n t = ceil (log (float_of_int t.n) /. log 2.0)
 
@@ -55,14 +61,20 @@ let charge t ~label rounds =
   let prev_r, prev_c =
     match Hashtbl.find_opt t.breakdown label with Some x -> x | None -> (0.0, 0)
   in
-  Hashtbl.replace t.breakdown label (prev_r +. rounds, prev_c + 1)
+  Hashtbl.replace t.breakdown label (prev_r +. rounds, prev_c + 1);
+  match t.trace with
+  | Some tr -> Repro_trace.Trace.note_charge tr rounds
+  | None -> ()
 
 (* One part-wise aggregation, executed in parallel over every part of the
    current partition — the parallelism is exactly what the shortcut
    framework provides, so the charge does not scale with the number of
    parts. *)
 let charge_pa ?(units = 1) t ~label =
-  charge t ~label (float_of_int units *. pa_cost t)
+  charge t ~label (float_of_int units *. pa_cost t);
+  match t.trace with
+  | Some tr -> Repro_trace.Trace.note_pa tr units
+  | None -> ()
 
 (* Published bounds of the paper's named subroutines, in PA units. *)
 let charge_embedding t = charge_pa t ~label:"embedding[Prop1]" ~units:1
@@ -86,7 +98,13 @@ let total t = t.total
 
 let note_exec t (s : Collective.stats) =
   t.engine_runs <- t.engine_runs + s.Collective.engine_runs;
-  t.collectives <- t.collectives + s.Collective.collectives
+  t.collectives <- t.collectives + s.Collective.collectives;
+  match t.trace with
+  | Some tr ->
+    Repro_trace.Trace.note_exec tr ~rounds:s.Collective.rounds
+      ~messages:s.Collective.messages ~engine_runs:s.Collective.engine_runs
+      ~collectives:s.Collective.collectives
+  | None -> ()
 
 let engine_runs t = t.engine_runs
 let collectives t = t.collectives
@@ -94,7 +112,18 @@ let collectives t = t.collectives
 (* Fresh accountant with the same network parameters — used to meter the
    parts of a partition independently before taking the parallel maximum. *)
 let like t =
-  { t with total = 0.0; breakdown = Hashtbl.create 32; engine_runs = 0; collectives = 0 }
+  {
+    t with
+    total = 0.0;
+    breakdown = Hashtbl.create 32;
+    engine_runs = 0;
+    collectives = 0;
+    (* A fresh tracer per part: parts mutate only their own span tree, so
+       pool tasks stay data-race free; the caller splices the heaviest
+       part's tree back in via [absorb]. *)
+    trace =
+      Option.map (fun _ -> Repro_trace.Trace.create ~root:"part" ()) t.trace;
+  }
 
 (* Merge another accountant's charges into this one (used to absorb the
    heaviest part of a parallel batch: rounds of concurrent executions are
@@ -103,6 +132,9 @@ let absorb t other =
   t.total <- t.total +. other.total;
   t.engine_runs <- t.engine_runs + other.engine_runs;
   t.collectives <- t.collectives + other.collectives;
+  (match (t.trace, other.trace) with
+  | Some tr, Some tr' -> Repro_trace.Trace.absorb tr tr'
+  | _ -> ());
   Hashtbl.iter
     (fun label (r, c) ->
       let prev_r, prev_c =

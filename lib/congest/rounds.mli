@@ -12,7 +12,12 @@ val default_params : params
 
 type t
 
-val create : ?params:params -> n:int -> d:int -> unit -> t
+val create : ?params:params -> ?trace:Repro_trace.Trace.t -> n:int -> d:int -> unit -> t
+(** [?trace] attaches a span tracer: every [charge_*] and [note_exec]
+    attributes its cost to the tracer's innermost open span.  Omitting it
+    keeps the accountant exactly as before (no tracing work at all). *)
+
+val tracer : t -> Repro_trace.Trace.t option
 
 val pa_cost : t -> float
 (** Cost in rounds of a single part-wise aggregation. *)
@@ -51,7 +56,9 @@ val engine_runs : t -> int
 val collectives : t -> int
 
 val like : t -> t
-(** Fresh accountant with the same network parameters. *)
+(** Fresh accountant with the same network parameters.  If the original
+    carries a tracer, the copy gets a fresh private tracer (parts of a
+    parallel batch never share span state); [absorb] splices it back. *)
 
 val absorb : t -> t -> unit
 (** Merge the other accountant's charges into the first (e.g. the heaviest

@@ -67,9 +67,10 @@ let build_frontier ?rounds ?pool ~trim ~stop ~guard emb =
   let removed = Array.make n false in
   let pieces = ref [] in
   let levels = ref 0 in
+  let tracer = Option.bind rounds Repro_congest.Rounds.tracer in
   let pmap ~cost f arr =
     match pool with
-    | Some p -> Repro_util.Pool.map ~cost p f arr
+    | Some p -> Repro_util.Pool.map ?trace:tracer ~label:"pool.splits" ~cost p f arr
     | None -> Array.map f arr
   in
   let frontier = ref [ Array.init n Fun.id ] in
@@ -77,6 +78,10 @@ let build_frontier ?rounds ?pool ~trim ~stop ~guard emb =
   while !frontier <> [] do
     levels := max !levels !level;
     guard !level;
+    (* The level span wraps the batch and the absorb that follows it, so
+       the heaviest part's spliced trace lands inside the level. *)
+    Repro_trace.Trace.within tracer (Printf.sprintf "decomp.level%d" !level)
+    @@ fun () ->
     let batch = Array.of_list !frontier in
     (* Parts at a level are node-disjoint: the batch cost is their total
        node count. *)

@@ -31,14 +31,21 @@ type result = {
 let absorb_heaviest rounds locals =
   match rounds with None -> () | Some g -> Rounds.absorb_heaviest g locals
 
+(* Per-phase and per-batch spans ride the tracer attached to the caller's
+   [Rounds.t] (see Separator): the phase span wraps the batch *and* its
+   absorb, so the heaviest part's spliced sub-tree lands inside it. *)
+let tracer rounds = Option.bind rounds Rounds.tracer
+
+let span rounds name f = Repro_trace.Trace.within (tracer rounds) name f
+
 let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
   let g = Embedded.graph emb in
   let n = Graph.n g in
   Graph.check_vertex g root;
   (match rounds with Some r -> Rounds.charge_embedding r | None -> ());
-  let pmap ~cost f arr =
+  let pmap ~label ~cost f arr =
     match pool with
-    | Some p -> Repro_util.Pool.map ~cost p f arr
+    | Some p -> Repro_util.Pool.map ?trace:(tracer rounds) ~label ~cost p f arr
     | None -> Array.map f arr
   in
   let st = Join.create g ~root in
@@ -54,6 +61,7 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
   while Join.unvisited st > 0 do
     incr phases;
     if !phases > n + 1 then invalid_arg "Dfs.run: too many phases";
+    span rounds (Printf.sprintf "dfs.phase%d" !phases) @@ fun () ->
     (match rounds with
     | Some r -> Rounds.charge_aggregate r "components[Phase]"
     | None -> ());
@@ -65,7 +73,7 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
        work estimate is simply the number of still-unvisited nodes. *)
     let cost = Array.fold_left (fun a c -> a + Array.length c) 0 comps in
     let separators =
-      pmap ~cost
+      pmap ~label:"pool.separators" ~cost
         (fun members ->
           if Array.length members <= 3 then
             (* Trivial components: every node is its own separator; skip the
@@ -92,7 +100,7 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
     (* JOIN runs in parallel over components as well: charge the deepest
        iteration count once. *)
     let joins =
-      pmap ~cost
+      pmap ~label:"pool.joins" ~cost
         (fun (members, separator, _, _) ->
           let local = Option.map Rounds.like rounds in
           let iters = Join.join ?rounds:local st ~members ~separator in

@@ -132,7 +132,7 @@ let unvisited_components st members =
 
 (* Add all separator nodes of one original component to the partial DFS
    tree.  Returns the number of halving iterations used. *)
-let join ?rounds st ~members ~separator =
+let join_inner ?rounds st ~members ~separator =
   let remaining = Hashtbl.create (2 * List.length separator) in
   List.iter
     (fun v -> if not (in_tree st v) then Hashtbl.replace remaining v ())
@@ -188,3 +188,8 @@ let join ?rounds st ~members ~separator =
       invalid_arg "Join.join: no progress — separator nodes unreachable"
   done;
   !iterations
+
+let join ?rounds st ~members ~separator =
+  Repro_trace.Trace.within
+    (Option.bind rounds Rounds.tracer)
+    "join" (fun () -> join_inner ?rounds st ~members ~separator)

@@ -36,13 +36,23 @@ exception No_separator_found of string
 
 let charge_opt rounds f = match rounds with Some r -> f r | None -> ()
 
+(* The tracer rides the charged-round ledger: spans open on whatever
+   tracer the caller attached to its [Rounds.t], so phase attribution
+   needs no extra plumbing through the call stack. *)
+module Trace = Repro_trace.Trace
+
+let tracer rounds = Option.bind rounds Rounds.tracer
+
+let span rounds name f = Trace.within (tracer rounds) name f
+
 (* Try the T-path between [a] and [b]; every probe costs one MARK-PATH plus
    one aggregation. *)
 let try_path ?rounds cfg tried ~phase ~closing (a, b) =
   incr tried;
-  charge_opt rounds (fun r ->
-      Rounds.charge_mark_path r;
-      Rounds.charge_aggregate r "verify-balance");
+  span rounds "sep.verify" (fun () ->
+      charge_opt rounds (fun r ->
+          Rounds.charge_mark_path r;
+          Rounds.charge_aggregate r "verify-balance"));
   let path = Rooted.path (Config.tree cfg) a b in
   if Check.balanced cfg path then
     Some
@@ -292,12 +302,14 @@ let find ?rounds cfg =
     }
   else begin
     (* Phase 1 precomputation charges. *)
-    charge_opt rounds (fun r ->
-        Rounds.charge_spanning_forest r;
-        Rounds.charge_dfs_order r;
-        Rounds.charge_weights r);
+    span rounds "sep.phase1-precompute" (fun () ->
+        charge_opt rounds (fun r ->
+            Rounds.charge_spanning_forest r;
+            Rounds.charge_dfs_order r;
+            Rounds.charge_weights r));
     let fundamental = Config.fundamental_edges cfg in
-    if fundamental = [] then tree_phase ?rounds cfg tried
+    if fundamental = [] then
+      span rounds "sep.phase2-tree" (fun () -> tree_phase ?rounds cfg tried)
     else begin
       let weights =
         List.map (fun (u, v) -> ((u, v), Weights.weight cfg ~u ~v)) fundamental
@@ -305,22 +317,28 @@ let find ?rounds cfg =
       let wcount = List.length weights in
       let finish r = { r with weights_computed = wcount } in
       (* Phase 3: a face with weight in range. *)
-      charge_opt rounds (fun r -> Rounds.charge_aggregate r "range-weights[Phase3]");
-      let in_range =
-        List.filter (fun (_, w) -> 3 * w >= n && 3 * w <= 2 * n) weights
+      let phase3_result =
+        span rounds "sep.phase3-face" (fun () ->
+            charge_opt rounds (fun r ->
+                Rounds.charge_aggregate r "range-weights[Phase3]");
+            let in_range =
+              List.filter (fun (_, w) -> 3 * w >= n && 3 * w <= 2 * n) weights
+            in
+            first_some
+              (List.map
+                 (fun ((u, v), _) () ->
+                   try_path ?rounds cfg tried ~phase:"3-face"
+                     ~closing:(Some (u, v)) (u, v))
+                 in_range))
       in
-      let phase3 =
-        List.map
-          (fun ((u, v), _) () ->
-            try_path ?rounds cfg tried ~phase:"3-face" ~closing:(Some (u, v)) (u, v))
-          in_range
-      in
-      match first_some phase3 with
+      match phase3_result with
       | Some r -> finish r
       | None ->
         let heavy = List.filter (fun (_, w) -> 3 * w > 2 * n) weights in
         let result =
-          if heavy <> [] then begin
+          if heavy <> [] then
+            span rounds "sep.phase4-heavy" @@ fun () ->
+            begin
             (* Phase 4: a minimal heavy face — one that does not contain any
                other heavy face (NOT-CONTAINS, Lemma 18).  Containment can
                only hold within the minimum-weight tier.  If every candidate
@@ -341,7 +359,9 @@ let find ?rounds cfg =
                  (fun (u, v) () -> heavy_face_candidates ?rounds cfg tried ~u ~v)
                  (primary :: others))
           end
-          else begin
+          else
+            span rounds "sep.phase5-light" @@ fun () ->
+            begin
             (* Phase 5: every face lighter than n/3.  Take an edge not
                contained in any other face (NOT-CONTAINED, Lemma 17); only
                the maximum-weight tier can contain it. *)
@@ -396,6 +416,7 @@ let find ?rounds cfg =
              harness reports how often candidates beyond the paper's order
              fire (it never observed this branch). *)
           let fallback =
+            span rounds "sep.fallback" @@ fun () ->
             first_some
               [
                 (fun () ->
@@ -435,9 +456,10 @@ let shrink ?rounds cfg path =
   let arr = Array.of_list path in
   let k = Array.length arr in
   let balanced_sub i j =
-    charge_opt rounds (fun r ->
-        Rounds.charge_mark_path r;
-        Rounds.charge_aggregate r "verify-balance");
+    span rounds "sep.shrink-probe" (fun () ->
+        charge_opt rounds (fun r ->
+            Rounds.charge_mark_path r;
+            Rounds.charge_aggregate r "verify-balance"));
     let sub = ref [] in
     for x = j downto i do
       sub := arr.(x) :: !sub
@@ -481,9 +503,15 @@ let shrink ?rounds cfg path =
 let find_partition ?rounds ?pool emb ~parts =
   let tasks = Array.of_list (List.map Array.of_list parts) in
   let cost = Array.fold_left (fun a m -> a + Array.length m) 0 tasks in
+  (* The batch span covers both the (possibly parallel) per-part runs and
+     the deterministic merge, so the heaviest part's spliced trace lands
+     inside it. *)
+  span rounds "sep.partition" @@ fun () ->
   let pmap ~cost f arr =
     match pool with
-    | Some p -> Repro_util.Pool.map ~cost p f arr
+    | Some p ->
+      Repro_util.Pool.map ?trace:(tracer rounds) ~label:"pool.separators"
+        ~cost p f arr
     | None -> Array.map f arr
   in
   let results =

@@ -1,0 +1,31 @@
+(** Minimal JSON tree, printer and parser.
+
+    The repo deliberately avoids external JSON dependencies; this module is
+    shared by the trace exporters (Chrome-trace, metrics), the bench
+    emitter and the bench-diff regression gate, so emitted documents can be
+    parsed back losslessly.  Integers and floats are kept distinct so exact
+    counters survive a round trip; floats print with enough digits
+    ([%.17g]) that [of_string (to_string j)] reproduces the same value. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> t
+(** Raises [Failure] with a position-annotated message on malformed
+    input. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Obj] key order significant). *)

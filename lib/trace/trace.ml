@@ -1,0 +1,275 @@
+(* Span-tree tracer driven entirely by virtual time (charged + executed
+   rounds).  No wall clock, no identifiers minted from global state: a
+   trace is a pure function of the run, which is what makes the jobs=N
+   determinism guarantee (and the CI exact-diff gate) possible. *)
+
+type counters = {
+  mutable charged : float;
+  mutable exec_rounds : int;
+  mutable messages : int;
+  mutable engine_runs : int;
+  mutable collectives : int;
+  mutable charges : int;
+  mutable pa_units : int;
+  mutable tasks : int;
+}
+
+type span = {
+  name : string;
+  self : counters;
+  mutable children : span list; (* newest first *)
+}
+
+type t = {
+  root_span : span;
+  mutable stack : span list; (* innermost first; always ends with root_span *)
+}
+
+let zero () =
+  {
+    charged = 0.0;
+    exec_rounds = 0;
+    messages = 0;
+    engine_runs = 0;
+    collectives = 0;
+    charges = 0;
+    pa_units = 0;
+    tasks = 0;
+  }
+
+let add_into ~into c =
+  into.charged <- into.charged +. c.charged;
+  into.exec_rounds <- into.exec_rounds + c.exec_rounds;
+  into.messages <- into.messages + c.messages;
+  into.engine_runs <- into.engine_runs + c.engine_runs;
+  into.collectives <- into.collectives + c.collectives;
+  into.charges <- into.charges + c.charges;
+  into.pa_units <- into.pa_units + c.pa_units;
+  into.tasks <- into.tasks + c.tasks
+
+let create ?(root = "run") () =
+  let root_span = { name = root; self = zero (); children = [] } in
+  { root_span; stack = [ root_span ] }
+
+let root t = t.root_span
+let depth t = List.length t.stack
+
+let current t =
+  match t.stack with s :: _ -> s | [] -> assert false (* root never pops *)
+
+let enter t name =
+  let s = { name; self = zero (); children = [] } in
+  let parent = current t in
+  parent.children <- s :: parent.children;
+  t.stack <- s :: t.stack
+
+let leave t =
+  match t.stack with
+  | _ :: (_ :: _ as rest) -> t.stack <- rest
+  | _ -> invalid_arg "Trace.leave: root span cannot be closed"
+
+let with_span t name f =
+  enter t name;
+  Fun.protect ~finally:(fun () -> leave t) f
+
+let within t name f =
+  match t with None -> f () | Some t -> with_span t name f
+
+(* --- attribution ---------------------------------------------------- *)
+
+let note_charge t rounds =
+  let c = (current t).self in
+  c.charged <- c.charged +. rounds;
+  c.charges <- c.charges + 1
+
+let note_pa t units =
+  let c = (current t).self in
+  c.pa_units <- c.pa_units + units
+
+let note_exec t ~rounds ~messages ~engine_runs ~collectives =
+  let c = (current t).self in
+  c.exec_rounds <- c.exec_rounds + rounds;
+  c.messages <- c.messages + messages;
+  c.engine_runs <- c.engine_runs + engine_runs;
+  c.collectives <- c.collectives + collectives
+
+let note_tasks t n =
+  let c = (current t).self in
+  c.tasks <- c.tasks + n
+
+let absorb t other =
+  let cur = current t in
+  (* Both child lists are newest-first; prepending the other's keeps the
+     chronological order after the final reversal. *)
+  cur.children <- other.root_span.children @ cur.children;
+  add_into ~into:cur.self other.root_span.self
+
+(* --- reading -------------------------------------------------------- *)
+
+let rec totals span =
+  let acc = zero () in
+  add_into ~into:acc span.self;
+  List.iter (fun c -> add_into ~into:acc (totals c)) span.children;
+  acc
+
+let in_order span = List.rev span.children
+
+(* Aggregation: merge sibling spans with equal names, preserving the order
+   of first occurrence — the per-phase attribution view. *)
+type agg = {
+  aname : string;
+  mutable count : int;
+  aself : counters;
+  atotal : counters;
+  mutable akids : agg list; (* newest first *)
+}
+
+let rec aggregate_children spans =
+  let index = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun (s : span) ->
+      let node =
+        match Hashtbl.find_opt index s.name with
+        | Some node -> node
+        | None ->
+          let node =
+            {
+              aname = s.name;
+              count = 0;
+              aself = zero ();
+              atotal = zero ();
+              akids = [];
+            }
+          in
+          Hashtbl.replace index s.name node;
+          out := node :: !out;
+          node
+      in
+      node.count <- node.count + 1;
+      add_into ~into:node.aself s.self;
+      add_into ~into:node.atotal (totals s);
+      node.akids <- List.rev_append (aggregate_children (in_order s)) node.akids)
+    spans;
+  (* Children aggregated per-sibling above may repeat across instances of
+     the same name: fold them once more. *)
+  let fold_aggs aggs =
+    let index = Hashtbl.create 8 in
+    let out = ref [] in
+    List.iter
+      (fun (a : agg) ->
+        match Hashtbl.find_opt index a.aname with
+        | Some node ->
+          node.count <- node.count + a.count;
+          add_into ~into:node.aself a.aself;
+          add_into ~into:node.atotal a.atotal;
+          node.akids <- a.akids @ node.akids
+        | None ->
+          Hashtbl.replace index a.aname a;
+          out := a :: !out)
+      aggs;
+    List.rev !out
+  in
+  let merged = fold_aggs (List.rev !out) in
+  List.iter (fun a -> a.akids <- fold_aggs (List.rev a.akids)) merged;
+  merged
+
+let aggregate t =
+  let root = t.root_span in
+  let a =
+    {
+      aname = root.name;
+      count = 1;
+      aself = zero ();
+      atotal = totals root;
+      akids = List.rev (aggregate_children (in_order root));
+    }
+  in
+  add_into ~into:a.aself root.self;
+  a
+
+let pp fmt t =
+  let rec go indent (a : agg) =
+    let tot = a.atotal in
+    Fmt.pf fmt "%s%-*s" indent (max 1 (34 - String.length indent)) a.aname;
+    if a.count > 1 then Fmt.pf fmt " x%-5d" a.count else Fmt.pf fmt "       ";
+    if tot.charged > 0.0 then Fmt.pf fmt " charged=%-10.0f" tot.charged;
+    if tot.exec_rounds > 0 then Fmt.pf fmt " rounds=%-8d" tot.exec_rounds;
+    if tot.messages > 0 then Fmt.pf fmt " msgs=%-9d" tot.messages;
+    if tot.engine_runs > 0 then Fmt.pf fmt " engine=%-5d" tot.engine_runs;
+    if tot.collectives > 0 then Fmt.pf fmt " coll=%-5d" tot.collectives;
+    if tot.pa_units > 0 then Fmt.pf fmt " pa=%-6d" tot.pa_units;
+    if tot.tasks > 0 then Fmt.pf fmt " tasks=%-5d" tot.tasks;
+    Fmt.pf fmt "@.";
+    List.iter (go (indent ^ "  ")) (List.rev a.akids)
+  in
+  go "" (aggregate t)
+
+(* --- exporters ------------------------------------------------------ *)
+
+let counters_fields (c : counters) =
+  [
+    ("charged_rounds", Json.Float c.charged);
+    ("exec_rounds", Json.Int c.exec_rounds);
+    ("messages", Json.Int c.messages);
+    ("engine_runs", Json.Int c.engine_runs);
+    ("collectives", Json.Int c.collectives);
+    ("charges", Json.Int c.charges);
+    ("pa_units", Json.Int c.pa_units);
+    ("tasks", Json.Int c.tasks);
+  ]
+
+(* Virtual duration of a span: charged plus executed rounds (the two never
+   both dominate — charged-model runs execute nothing and vice versa — and
+   summing keeps the axis monotone for hybrid runs). *)
+let duration tot = tot.charged +. float_of_int tot.exec_rounds
+
+let to_chrome t =
+  let events = ref [] in
+  let rec emit ts span =
+    let tot = totals span in
+    events :=
+      Json.Obj
+        [
+          ("name", Json.String span.name);
+          ("cat", Json.String "congest");
+          ("ph", Json.String "X");
+          ("ts", Json.Float ts);
+          ("dur", Json.Float (duration tot));
+          ("pid", Json.Int 0);
+          ("tid", Json.Int 0);
+          ("args", Json.Obj (counters_fields tot));
+        ]
+      :: !events;
+    (* Children occupy consecutive sub-intervals from the parent's start;
+       the parent's self time fills whatever remains at the end. *)
+    let cursor = ref ts in
+    List.iter
+      (fun c ->
+        emit !cursor c;
+        cursor := !cursor +. duration (totals c))
+      (in_order span)
+  in
+  emit 0.0 t.root_span;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj [ ("time_axis", Json.String "virtual-rounds") ] );
+    ]
+
+let to_metrics t =
+  let rec node (a : agg) =
+    Json.Obj
+      ([ ("name", Json.String a.aname); ("count", Json.Int a.count) ]
+      @ counters_fields a.atotal
+      @ [
+          ("self", Json.Obj (counters_fields a.aself));
+          ("children", Json.List (List.map node (List.rev a.akids)));
+        ])
+  in
+  node (aggregate t)
+
+let to_chrome_string t = Json.to_string (to_chrome t)
+let to_metrics_string t = Json.to_string (to_metrics t)

@@ -1,0 +1,104 @@
+(** Structured tracing for the CONGEST stack.
+
+    A tracer is a tree of named spans with one open-span stack.  Spans wrap
+    the composed subroutines, the separator phases, the DFS/decomposition
+    recursion levels and the pool batches; counters attribute charged
+    rounds, executed engine statistics and pool-batch sizes to the
+    innermost open span.  Everything is driven by *virtual* time (charged
+    and executed rounds), never by the wall clock, so a trace is a pure
+    function of the run: jobs=N produces a bit-identical trace to jobs=1
+    under the per-part ledger discipline of [Rounds.absorb_heaviest].
+
+    The whole subsystem is optional-by-construction: every integration
+    point holds a [t option], and the [None] path does no work and
+    allocates nothing, keeping traced-off runs bit-identical to the
+    pre-trace code.
+
+    Sinks: an aggregated textual summary ({!pp}), a Chrome-trace JSON
+    ({!to_chrome}, loadable in Perfetto / chrome://tracing with charged
+    rounds as the time axis) and a machine-readable metrics tree
+    ({!to_metrics}, embedded in BENCH emitters and diffed by the CI
+    regression gate). *)
+
+type counters = {
+  mutable charged : float;  (** charged rounds ([Rounds.charge]) *)
+  mutable exec_rounds : int;  (** executed engine rounds *)
+  mutable messages : int;
+  mutable engine_runs : int;
+  mutable collectives : int;
+  mutable charges : int;  (** number of charge invocations *)
+  mutable pa_units : int;  (** charged part-wise-aggregation units *)
+  mutable tasks : int;  (** pool-batch items executed under this span *)
+}
+
+type span = {
+  name : string;
+  self : counters;  (** attribution while this span was innermost *)
+  mutable children : span list;  (** newest first *)
+}
+
+type t
+
+val create : ?root:string -> unit -> t
+(** Fresh tracer whose root span (default name ["run"]) is open. *)
+
+val root : t -> span
+
+val depth : t -> int
+(** Number of open spans, root included; [1] when balanced. *)
+
+val enter : t -> string -> unit
+
+val leave : t -> unit
+(** Raises [Invalid_argument] on an attempt to close the root. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [enter], run, [leave] — exception-safe. *)
+
+val within : t option -> string -> (unit -> 'a) -> 'a
+(** [with_span] through an optional tracer; [None] runs the thunk
+    directly. *)
+
+(** {2 Counter attribution (innermost open span)} *)
+
+val note_charge : t -> float -> unit
+(** One charged-model charge of the given rounds. *)
+
+val note_pa : t -> int -> unit
+(** Charged part-wise-aggregation units (rides a [note_charge]). *)
+
+val note_exec :
+  t -> rounds:int -> messages:int -> engine_runs:int -> collectives:int -> unit
+(** Executed engine statistics (one engine run's worth, typically). *)
+
+val note_tasks : t -> int -> unit
+(** A pool batch of this many items ran under the current span. *)
+
+val absorb : t -> t -> unit
+(** Splice the other tracer's finished tree into this tracer's current
+    span: the other root's children become children (in order), its root
+    self-counters merge into the current span's self.  Used by
+    [Rounds.absorb] so a parallel batch's heaviest per-part trace lands
+    under the batch span deterministically. *)
+
+(** {2 Reading} *)
+
+val totals : span -> counters
+(** Fresh counters: self plus all descendants. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aggregated tree summary: sibling spans with equal names merge, with an
+    instance count. *)
+
+val to_chrome : t -> Json.t
+(** Chrome-trace ("traceEvents") document of complete ("X") events.  The
+    time axis is virtual: a span's duration is its total charged rounds
+    plus executed rounds, children laid out sequentially inside the
+    parent. *)
+
+val to_metrics : t -> Json.t
+(** Machine-readable aggregated tree; deterministic, so the CI bench-diff
+    gate compares it exactly. *)
+
+val to_chrome_string : t -> string
+val to_metrics_string : t -> string

@@ -132,7 +132,7 @@ let ensure_domains t =
       Array.init (t.jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t g))
   end
 
-let map ?cost t f arr =
+let map_inner ?cost t f arr =
   let len = Array.length arr in
   if not (runs_parallel ?cost t len) then Array.map f arr
   else begin
@@ -172,6 +172,18 @@ let map ?cost t f arr =
         Array.map (function Some v -> v | None -> assert false) results
     end
   end
+
+(* The per-batch span wraps the host-side batch execution on the calling
+   domain only; tasks never touch the caller's tracer (their charged work
+   is metered into private per-part ledgers that the caller splices back
+   deterministically after the batch). *)
+let map ?trace ?(label = "pool.batch") ?cost t f arr =
+  match trace with
+  | Some tr ->
+    Repro_trace.Trace.with_span tr label (fun () ->
+        Repro_trace.Trace.note_tasks tr (Array.length arr);
+        map_inner ?cost t f arr)
+  | None -> map_inner ?cost t f arr
 
 let shutdown t =
   Mutex.lock t.mutex;

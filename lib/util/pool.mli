@@ -47,7 +47,14 @@ val runs_parallel : ?cost:int -> t -> int -> bool
     [seq_grain t].  (A re-entrant [map] from inside a task still falls
     back dynamically.) *)
 
-val map : ?cost:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?trace:Repro_trace.Trace.t ->
+  ?label:string ->
+  ?cost:int ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map ?cost t f arr] applies [f] to every element and returns the
     results in input order.  When [runs_parallel ?cost t (length arr)]
     holds, elements are scheduled over the pool's domains in contiguous
@@ -55,7 +62,12 @@ val map : ?cost:int -> t -> ('a -> 'b) -> 'a array -> 'b array
     first exception (in completion order) is re-raised after the batch
     drains and the remaining unstarted tasks are skipped; the pool stays
     usable.  Re-entrant calls (a task calling [map] on the same pool) fall
-    back to sequential execution rather than deadlock. *)
+    back to sequential execution rather than deadlock.
+
+    With [?trace], the batch runs under a span named [label] (default
+    ["pool.batch"]) on the {e calling} domain's tracer, annotated with the
+    batch size; tasks themselves never touch that tracer, so the span tree
+    is identical whichever domains the tasks land on. *)
 
 val shutdown : t -> unit
 (** Join all worker domains (a no-op if none were ever spawned).

@@ -28,4 +28,5 @@ let () =
          Test_pool.suites;
          Test_parallel.suites;
          Test_testkit.suites;
+         Test_trace.suites;
        ])

@@ -1,0 +1,145 @@
+(* Perf-regression gate over BENCH baselines.
+
+     bench_diff BASELINE.json CURRENT.json [--tol 0.30]
+
+   Compares every experiment present in BOTH files (so a --short run that
+   covers a subset of the committed full baseline still gates):
+
+   - "metrics" documents (per-span round/message attribution emitted by the
+     trace layer) must be EXACTLY equal — they are deterministic by
+     construction, so any difference is a real behavioral change;
+   - "wall_seconds" may regress by at most the tolerance (default +30%).
+     Baselines under 1s are skipped: timer noise dominates there.
+
+   At least one metrics-bearing comparison must happen, so an empty
+   intersection (or a baseline predating the metrics emitter) fails loudly
+   instead of vacuously passing. *)
+
+module Json = Repro_trace.Json
+
+let fail_usage () =
+  prerr_endline "usage: bench_diff BASELINE.json CURRENT.json [--tol FRACTION]";
+  exit 2
+
+let read_file path =
+  let ic = try open_in path with Sys_error e -> prerr_endline e; exit 2 in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse path =
+  match Json.of_string (read_file path) with
+  | j -> j
+  | exception Failure e ->
+    Printf.eprintf "%s: parse error: %s\n" path e;
+    exit 2
+
+let experiments j =
+  match Json.member "experiments" j with
+  | Some (Json.List l) ->
+    List.filter_map
+      (fun e ->
+        match Json.member "name" e with
+        | Some (Json.String name) -> Some (name, e)
+        | _ -> None)
+      l
+  | _ ->
+    prerr_endline "malformed BENCH file: no \"experiments\" list";
+    exit 2
+
+let wall e =
+  match Json.member "wall_seconds" e with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* The minimum wall time (s) for the baseline before the tolerance check
+   applies at all: under this, scheduler noise swamps the signal. *)
+let wall_noise_floor = 1.0
+
+let () =
+  let baseline_path = ref None and current_path = ref None in
+  let tol = ref 0.30 in
+  let argc = Array.length Sys.argv in
+  let i = ref 1 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--tol" when !i + 1 < argc ->
+      (match float_of_string_opt Sys.argv.(!i + 1) with
+      | Some t when t >= 0.0 -> tol := t
+      | _ -> fail_usage ());
+      incr i
+    | "--tol" -> fail_usage ()
+    | path when !baseline_path = None -> baseline_path := Some path
+    | path when !current_path = None -> current_path := Some path
+    | _ -> fail_usage ());
+    incr i
+  done;
+  let baseline_path, current_path =
+    match (!baseline_path, !current_path) with
+    | Some b, Some c -> (b, c)
+    | _ -> fail_usage ()
+  in
+  let baseline = experiments (parse baseline_path) in
+  let current = experiments (parse current_path) in
+  let failures = ref 0 and compared = ref 0 and metric_cmps = ref 0 in
+  let failf fmt =
+    incr failures;
+    Printf.printf fmt
+  in
+  List.iter
+    (fun (name, cur) ->
+      match List.assoc_opt name baseline with
+      | None -> Printf.printf "~ %-6s only in current, skipped\n" name
+      | Some base ->
+        incr compared;
+        (* Metrics: exact. *)
+        (match (Json.member "metrics" base, Json.member "metrics" cur) with
+        | Some (Json.Obj bm), Some (Json.Obj cm) ->
+          List.iter
+            (fun (key, bj) ->
+              match List.assoc_opt key cm with
+              | None -> failf "! %s/%s: metrics entry missing from current\n" name key
+              | Some cj ->
+                incr metric_cmps;
+                if not (Json.equal bj cj) then
+                  failf "! %s/%s: metrics differ from baseline (deterministic counters changed)\n"
+                    name key)
+            bm;
+          List.iter
+            (fun (key, _) ->
+              if List.assoc_opt key bm = None then
+                Printf.printf "~ %s/%s: new metrics entry (not in baseline)\n" name key)
+            cm
+        | Some _, None | Some (Json.Obj _), Some _ ->
+          failf "! %s: baseline has metrics but current does not\n" name
+        | None, _ | Some _, Some _ -> ());
+        (* Wall clock: tolerance, above the noise floor. *)
+        (match (wall base, wall cur) with
+        | Some bw, Some cw when bw >= wall_noise_floor ->
+          if cw > bw *. (1.0 +. !tol) then
+            failf "! %s: wall %.2fs exceeds baseline %.2fs by more than %+.0f%%\n"
+              name cw bw (100.0 *. !tol)
+          else
+            Printf.printf "  %-6s wall %.2fs vs baseline %.2fs (within %+.0f%%)\n"
+              name cw bw (100.0 *. !tol)
+        | Some bw, Some cw ->
+          Printf.printf "  %-6s wall %.2fs vs baseline %.2fs (baseline < %.0fs, not gated)\n"
+            name cw bw wall_noise_floor
+        | _ -> ()))
+    current;
+  if !compared = 0 then begin
+    Printf.printf "! no experiment in common between %s and %s\n" baseline_path
+      current_path;
+    incr failures
+  end
+  else if !metric_cmps = 0 then begin
+    Printf.printf
+      "! no metrics compared — baseline %s has no metrics for the experiments run\n"
+      baseline_path;
+    incr failures
+  end;
+  Printf.printf "bench-diff: %d experiment(s), %d metrics document(s), %d failure(s)\n"
+    !compared !metric_cmps !failures;
+  exit (if !failures = 0 then 0 else 1)
