@@ -1,5 +1,5 @@
-(* Benchmark harness: regenerates every experiment table (E1..E13) and figure
-   series (F1, F2) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
+(* Benchmark harness: regenerates every experiment table (E1..E15) and figure
+   series (F1..F3) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
    micro-benchmarks of the core routines.
 
    Every table prints the paper-expected shape next to the measured values;
@@ -1211,6 +1211,130 @@ let e14 ~jobs () =
     [ ("tgrid", 400, 1); ("grid", 400, 1); ("stacked", 400, 2) ]
 
 (* ------------------------------------------------------------------ *)
+(* E15: the two retired hotspots — JOIN batching and amortized          *)
+(* separator verification.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e15 ~short () =
+  section "E15  Batched JOIN & amortized verification";
+  pf "expected: bit-identical trees, >=2x fewer charged rounds and engine\n";
+  pf " runs for the batched JOIN; per-find verification cost independent\n";
+  pf " of the number of candidates tried\n";
+  let t =
+    Table.create ~title:"E15a JOIN: serial choreography vs slot-batched"
+      [
+        "family"; "n"; "mode"; "iters"; "charged rounds"; "engine runs";
+        "rounds"; "identical";
+      ]
+  in
+  Table.set_align t 0 Table.Left;
+  Table.set_align t 2 Table.Left;
+  List.iter
+    (fun (name, emb) ->
+      let cfg = Config.of_embedded emb in
+      let g = Config.graph cfg in
+      let n = Graph.n g in
+      let d = max 1 (Algo.diameter g) in
+      let root = Rooted.root (Config.tree cfg) in
+      let members = Array.init n Fun.id in
+      let separator = (Separator.find cfg).Separator.separator in
+      let run serial =
+        let ledger = Rounds.create ~n ~d () in
+        let st = Join.create g ~root in
+        let e = Join.exec_create ~serial st ~root in
+        let iters = Join.join ~rounds:ledger ~exec:e st ~members ~separator in
+        (st, iters, ledger, e.Join.stats)
+      in
+      (* The serial row pays the Reference charge schedule too, so the
+         charged column compares the two schedules end to end. *)
+      let stb, ib, lb, sb = run false in
+      let str_, ir, _, ss = run true in
+      let lr = Rounds.create ~n ~d () in
+      let st_ref = Join.create g ~root in
+      let ir' = Join.Reference.join ~rounds:lr st_ref ~members ~separator in
+      let identical =
+        stb.Join.parent = str_.Join.parent
+        && stb.Join.parent = st_ref.Join.parent
+        && ib = ir && ib = ir'
+      in
+      let row mode iters charged (s : Composed.stats) =
+        Table.add_row t
+          [
+            name;
+            Table.fmt_int n;
+            mode;
+            Table.fmt_int iters;
+            Printf.sprintf "%.0f" charged;
+            Table.fmt_int s.Composed.engine_runs;
+            Table.fmt_int s.Composed.rounds;
+            (if identical then "yes" else "NO");
+          ]
+      in
+      row "serial" ir' (Rounds.total lr) ss;
+      row "batched" ib (Rounds.total lb) sb)
+    (if short then [ ("tgrid12", Gen.grid_diag ~seed:3 ~rows:12 ~cols:12 ()) ]
+     else
+       [
+         ("tgrid12", Gen.grid_diag ~seed:3 ~rows:12 ~cols:12 ());
+         ("grid16", Gen.grid ~rows:16 ~cols:16);
+         ("tri240", Gen.stacked_triangulation ~seed:5 ~n:240 ());
+       ]);
+  output t;
+  pf "(serial = per-component anchor aggregation + re-root + mark-path,\n";
+  pf " executed per slot; batched = the three slot-batched elections)\n";
+  let t2 =
+    Table.create ~title:"E15b verification: candidates tried vs balance batches"
+      [
+        "family"; "n"; "phase"; "tried"; "verify batches"; "old model pa";
+        "new pa";
+      ]
+  in
+  Table.set_align t2 0 Table.Left;
+  Table.set_align t2 2 Table.Left;
+  List.iter
+    (fun (name, emb) ->
+      let cfg = Config.of_embedded emb in
+      let g = Config.graph cfg in
+      let n = Graph.n g in
+      let d = max 1 (Algo.diameter g) in
+      let ledger = Rounds.create ~n ~d () in
+      let r = Separator.find ~rounds:ledger cfg in
+      let batches = Rounds.label_invocations ledger "verify-balance" in
+      let lg =
+        int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0))
+      in
+      (* The retired schedule walked a mark-path (lg^2 pa) and one
+         aggregation per candidate tried. *)
+      let old_pa = r.Separator.candidates_tried * ((lg * lg) + 1) in
+      Table.add_row t2
+        [
+          name;
+          Table.fmt_int n;
+          r.Separator.phase;
+          Table.fmt_int r.Separator.candidates_tried;
+          Table.fmt_int batches;
+          Table.fmt_int old_pa;
+          Table.fmt_int batches;
+        ])
+    (if short then
+       [
+         ("tgrid12", Gen.grid_diag ~seed:3 ~rows:12 ~cols:12 ());
+         ("star64", Gen.star 64);
+       ]
+     else
+       [
+         ("tgrid12", Gen.grid_diag ~seed:3 ~rows:12 ~cols:12 ());
+         ("tgrid20", Gen.grid_diag ~seed:4 ~rows:20 ~cols:20 ());
+         ("grid20", Gen.grid ~rows:20 ~cols:20);
+         ("tri240", Gen.stacked_triangulation ~seed:5 ~n:240 ());
+         ("star64", Gen.star 64);
+       ]);
+  output t2;
+  pf "(each phase group maintains one running balance aggregate, so the\n";
+  pf " verification charge is the number of groups entered — not the\n";
+  pf " number of candidates tried, as in the per-candidate re-walk model)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1309,6 +1433,7 @@ let () =
   run "e12" (e12 ~short:!short);
   run "e13" (e13 ~short:!short);
   run "e14" (e14 ~jobs:!jobs);
+  run "e15" (e15 ~short:!short);
   run "f3" (f3 ~short:!short);
   run "micro" micro;
   write_json ~path:!out ~jobs:!jobs ~timings:(List.rev !timings);

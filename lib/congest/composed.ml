@@ -784,6 +784,83 @@ let separator_phase3 ?trace g ~rot_orders ~parent ~depth ~root =
     (fun comms -> separator_phase3_core comms g ~rot_orders ~parent ~depth ~root)
 
 (* ------------------------------------------------------------------ *)
+(* JOIN iteration (Lemma 2), executed.                                  *)
+(*                                                                      *)
+(* One halving iteration of JOIN needs, per active component: the       *)
+(* anchor edge (the partial-tree endpoint of maximum DFS depth with an  *)
+(* unvisited neighbour in the component), whether the component holds   *)
+(* any still-marked node, and — once the preferring forest is rooted    *)
+(* at the anchors — the attach target (the deepest marked node of the   *)
+(* component's tree).  The per-component scalars for ALL components     *)
+(* ride slot-batched part-wise MAX aggregations over the component      *)
+(* partition: one two-slot batch for anchor + marked, then (after the   *)
+(* host-side forest rooting, which the charged model bills as Lemmas 9  *)
+(* and 11) a one-slot batch for the targets, and finally a two-slot     *)
+(* whole-graph SUM carrying the post-attach bookkeeping (surviving      *)
+(* marked nodes, surviving unvisited nodes).  Four engine runs per      *)
+(* iteration, where the serial choreography pays one run per part-wise  *)
+(* slot and a convergecast + broadcast pair per global sum.             *)
+(*                                                                      *)
+(* Candidate codes are computed node-locally after a single one-round   *)
+(* exchange (visited nodes tell their neighbours their partial-tree     *)
+(* depth); MAX over the codes then realises exactly the host            *)
+(* tie-breaks: anchor = deepest visited endpoint, ties to the           *)
+(* lexicographically smallest (u, v); target = deepest marked node,     *)
+(* ties to the first in component order.  Codes are O(n^3) and so stay  *)
+(* within the O(log n)-bit message budget.                              *)
+(*                                                                      *)
+(* [forest] and [attach] are host callbacks between the batches: the    *)
+(* first decodes the elected anchors, roots the preferring forests and  *)
+(* returns the node-local target codes; the second decodes the elected  *)
+(* targets, activates the paths and returns the node-local bookkeeping  *)
+(* bits.                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let join_elections_core comms g ~bcast_parent ~parts ~visited_depth ~marked
+    ~forest ~attach =
+  let n = Graph.n g in
+  let sends =
+    Array.init n (fun u ->
+        if visited_depth.(u) >= 0 then
+          Array.to_list
+            (Array.map (fun v -> (v, visited_depth.(u))) (Graph.neighbors g u))
+        else [])
+  in
+  let heard = comms.exchange sends in
+  let anchor_code = Array.make n 0 in
+  let marked_flag = Array.make n 0 in
+  for v = 0 to n - 1 do
+    (* Candidates exist only at unvisited nodes; nodes outside the active
+       components sit in a dummy part whose aggregates nobody reads. *)
+    if visited_depth.(v) < 0 then begin
+      List.iter
+        (fun (u, du) ->
+          let code = 1 + (du * n * n) + ((n * n) - 1 - ((u * n) + v)) in
+          if code > anchor_code.(v) then anchor_code.(v) <- code)
+        heard.(v);
+      if marked.(v) then marked_flag.(v) <- 1
+    end
+  done;
+  let a =
+    comms.partwise ~bcast_parent ~op:Prim.Max ~parts
+      [| anchor_code; marked_flag |]
+  in
+  let target_code = forest a in
+  let b =
+    (comms.partwise ~bcast_parent ~op:Prim.Max ~parts [| target_code |]).(0)
+  in
+  let remaining_flag, unvisited_flag = attach b in
+  let t = comms.agg_batch ~op:Prim.Sum [| remaining_flag; unvisited_flag |] in
+  (a, b, t)
+
+let join_elections ?trace g ~bcast_parent ~root ~parts ~visited_depth ~marked
+    ~forest ~attach =
+  with_batched ?trace ~name:"composed.join-elections" g ~parent:bcast_parent
+    ~root (fun comms ->
+      join_elections_core comms g ~bcast_parent ~parts ~visited_depth ~marked
+        ~forest ~attach)
+
+(* ------------------------------------------------------------------ *)
 (* Spanning forests by Borůvka (Lemma 9), executed.                     *)
 (*                                                                      *)
 (* Each phase: every node learns its neighbours' fragment ids (one      *)
@@ -1273,6 +1350,12 @@ module Reference = struct
   let separator_phase3 g ~rot_orders ~parent ~depth ~root =
     with_serial g ~parent ~root (fun comms ->
         separator_phase3_core comms g ~rot_orders ~parent ~depth ~root)
+
+  let join_elections g ~bcast_parent ~root ~parts ~visited_depth ~marked
+      ~forest ~attach =
+    with_serial g ~parent:bcast_parent ~root (fun comms ->
+        join_elections_core comms g ~bcast_parent ~parts ~visited_depth ~marked
+          ~forest ~attach)
 
   let weights g lv =
     let tk = tk_of_view lv in

@@ -96,6 +96,32 @@ val separator_phase3 :
     range (the remaining phases fall back to the charged-model search).
     The Phase-1 BFS tree is reused for the election pipeline. *)
 
+val join_elections :
+  ?trace:Repro_trace.Trace.t ->
+  Graph.t ->
+  bcast_parent:int array ->
+  root:int ->
+  parts:int array ->
+  visited_depth:int array ->
+  marked:bool array ->
+  forest:(int array array -> int array) ->
+  attach:(int array -> int array * int array) ->
+  (int array array * int array * int array) * stats
+(** One JOIN iteration (Lemma 2), executed: the per-component election
+    scalars for every active component at once, as slot-batched part-wise
+    MAX aggregations over the component partition [parts] pipelined along
+    [bcast_parent] — a two-slot anchor/marked batch, a one-slot target
+    batch, and a two-slot whole-graph SUM of post-attach bookkeeping.
+    [visited_depth] is the partial-tree depth (-1 if unvisited); candidate
+    codes are formed node-locally after one one-round depth exchange, and
+    MAX realises the host tie-breaks (deepest endpoint then
+    lexicographically smallest edge; deepest marked node then first in
+    component order).  [forest] and [attach] are host callbacks between
+    the batches: rooting the preferring forests at the decoded anchors
+    (returning the node-local target codes), then activating the elected
+    paths (returning the node-local still-marked / still-unvisited bits).
+    Returns the anchor/marked rows, the target row and the two sums. *)
+
 val weights :
   ?trace:Repro_trace.Trace.t ->
   Graph.t ->
@@ -208,6 +234,17 @@ module Reference : sig
     depth:int array ->
     root:int ->
     ((int * int) * bool array) option * stats
+
+  val join_elections :
+    Graph.t ->
+    bcast_parent:int array ->
+    root:int ->
+    parts:int array ->
+    visited_depth:int array ->
+    marked:bool array ->
+    forest:(int array array -> int array) ->
+    attach:(int array -> int array * int array) ->
+    (int array array * int array * int array) * stats
 
   val weights : Graph.t -> local_view -> ((int * int) * int) list * stats
   val lca : Graph.t -> tree_knowledge -> u:int -> v:int -> int * stats

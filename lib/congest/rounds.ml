@@ -168,6 +168,9 @@ let breakdown t =
 let invocations t =
   Hashtbl.fold (fun _ (_, c) acc -> acc + c) t.breakdown 0
 
+let label_invocations t label =
+  match Hashtbl.find_opt t.breakdown label with Some (_, c) -> c | None -> 0
+
 let pp fmt t =
   Fmt.pf fmt "rounds=%.0f (n=%d, D=%d, PA=%.0f)@." t.total t.n t.d (pa_cost t);
   if t.engine_runs > 0 then

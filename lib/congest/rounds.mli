@@ -74,4 +74,9 @@ val breakdown : t -> (string * float * int) list
 
 val invocations : t -> int
 
+val label_invocations : t -> string -> int
+(** Invocation count charged under one label (0 if the label never
+    charged) — lets oracles pin amortization guarantees, e.g. "verify
+    balance aggregates at most once per phase". *)
+
 val pp : Format.formatter -> t -> unit

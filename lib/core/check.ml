@@ -90,6 +90,17 @@ let balanced cfg separator =
   List.iter (fun v -> removed.(v) <- true) separator;
   max_component_without g removed <= balance_limit n
 
+(* Same probe against a caller-owned scratch array (all-false on entry,
+   restored to all-false on exit): the candidate search probes many paths
+   per phase, and the shared scratch keeps that allocation-free. *)
+let balanced_with ~scratch cfg separator =
+  let g = Config.graph cfg in
+  let n = Graph.n g in
+  List.iter (fun v -> scratch.(v) <- true) separator;
+  let ok = max_component_without g scratch <= balance_limit n in
+  List.iter (fun v -> scratch.(v) <- false) separator;
+  ok
+
 (* A partition into connected parts is the precondition of Theorem 1's
    [find_partition] and Lemma 9's per-part spanning forests; the testkit
    validates its fuzzed partitions with this before handing them over. *)

@@ -29,6 +29,11 @@ val check_separator : Config.t -> int list -> verdict
 val balanced : Config.t -> int list -> bool
 (** Balance-only probe (the candidate-verification step). *)
 
+val balanced_with : scratch:bool array -> Config.t -> int list -> bool
+(** [balanced], but marking a caller-owned scratch array (all-false on
+    entry, restored on exit) instead of allocating one per probe — the
+    shared-handle path of the incremental candidate verification. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val cycle_closable : Config.t -> endpoints:int * int -> bool

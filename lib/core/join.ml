@@ -10,12 +10,27 @@
    at least half of the piece it enters — giving the O(log) iteration bound
    of the paper, which experiment E9 measures.
 
+   The per-iteration queries are batched across components: all anchor
+   elections ride one two-slot part-wise MAX over the component partition,
+   all target elections one more slot once the preferring forests are
+   rooted, and the attach bookkeeping one two-slot SUM — so an iteration
+   charges the preferring forests (Lemma 9), their rooted orders
+   (Lemma 11, making path activation node-local) and three aggregations,
+   instead of the old per-component anchor aggregation + re-root +
+   mark-path schedule.  The elections are expressed as integer codes whose
+   part-wise maximum realises exactly the serial tie-breaks; [Reference]
+   keeps the pre-batching choreography verbatim as the differential
+   oracle, and [?exec] runs the batched elections for real in the message
+   engine ({!Repro_congest.Composed.join_elections}).
+
    Joins of distinct components may run concurrently (the DFS driver batches
    them over a domain pool): a join writes [parent]/[depth] only for its own
    members, and every neighbour it reads outside the component was already
    visited when the phase began — two unvisited nodes joined by an edge are
    by definition in the same component.  The running unvisited count is an
-   [Atomic] so those concurrent attachments keep it exact. *)
+   [Atomic] so those concurrent attachments keep it exact.  The [?exec]
+   path reads the whole graph's state and is NOT pool-safe; it exists for
+   the differential suite and the serial-vs-batched benchmark only. *)
 
 open Repro_graph
 open Repro_congest
@@ -59,20 +74,38 @@ let component_anchor st members =
         acc (Graph.neighbors st.g v))
     None members
 
+(* Election codes.  The part-wise MAX of the anchor codes picks the
+   candidate edge (u, v) — u visited, v an unvisited component member —
+   with the deepest u, ties to the lexicographically smallest (u, v):
+   exactly the [component_anchor] fold.  The MAX of the target codes picks
+   the deepest node of the rooted preferring forest, ties to the first in
+   component order: exactly the serial target fold.  Codes are O(n^3) and
+   therefore fit the engine's O(log n)-bit message budget. *)
+let encode_anchor n ~du ~u ~v = 1 + (du * n * n) + ((n * n) - 1 - ((u * n) + v))
+
+let decode_anchor n code =
+  let e = (n * n) - 1 - ((code - 1) mod (n * n)) in
+  (e / n, e mod n)
+
+let encode_target n ~depth ~rank = 1 + (depth * n) + (n - 1 - rank)
+let decode_target_rank n code = n - 1 - ((code - 1) mod n)
+
 (* Spanning tree of the member set rooted at [anchor], preferring edges
    between still-marked nodes (Kruskal with 0/1 weights), then BFS over the
-   chosen edges for parents and depths. *)
-let preferring_tree st members ~anchor ~marked =
+   chosen edges for parents and depths, both in member-index space.  [idx]
+   is the shared vertex -> member-index scratch (-1 outside the current
+   component): filled on entry and cleared before returning, so one flat
+   array serves every component of every iteration without the per-call
+   hash table the serial choreography allocates. *)
+let preferring_tree st members ~anchor ~marked ~idx =
   let k = Array.length members in
-  let member = Hashtbl.create (2 * k) in
-  Array.iteri (fun i v -> Hashtbl.replace member v i) members;
-  let idx v = Hashtbl.find member v in
+  Array.iteri (fun i v -> idx.(v) <- i) members;
   let uf = Repro_util.Union_find.create k in
   let adj = Array.make k [] in
   let add_edge u v =
-    if Repro_util.Union_find.union uf (idx u) (idx v) then begin
-      adj.(idx u) <- v :: adj.(idx u);
-      adj.(idx v) <- u :: adj.(idx v)
+    if Repro_util.Union_find.union uf idx.(u) idx.(v) then begin
+      adj.(idx.(u)) <- v :: adj.(idx.(u));
+      adj.(idx.(v)) <- u :: adj.(idx.(v))
     end
   in
   let consider pass =
@@ -80,7 +113,7 @@ let preferring_tree st members ~anchor ~marked =
       (fun v ->
         Array.iter
           (fun u ->
-            if Hashtbl.mem member u && v < u then begin
+            if idx.(u) >= 0 && v < u then begin
               let zero = marked v && marked u in
               if (pass = 0 && zero) || (pass = 1 && not zero) then add_edge v u
             end)
@@ -91,31 +124,35 @@ let preferring_tree st members ~anchor ~marked =
   consider 1;
   let parent = Array.make k (-2) in
   let depth = Array.make k (-1) in
-  parent.(idx anchor) <- -1;
-  depth.(idx anchor) <- 0;
-  let queue = Array.make k anchor in
+  parent.(idx.(anchor)) <- -1;
+  depth.(idx.(anchor)) <- 0;
+  let queue = Array.make k idx.(anchor) in
   let head = ref 0 and tail = ref 1 in
   while !head < !tail do
-    let v = queue.(!head) in
+    let jv = queue.(!head) in
     incr head;
     List.iter
       (fun u ->
-        if parent.(idx u) = -2 then begin
-          parent.(idx u) <- v;
-          depth.(idx u) <- depth.(idx v) + 1;
-          queue.(!tail) <- u;
+        let ju = idx.(u) in
+        if parent.(ju) = -2 then begin
+          parent.(ju) <- jv;
+          depth.(ju) <- depth.(jv) + 1;
+          queue.(!tail) <- ju;
           incr tail
         end)
-      adj.(idx v)
+      adj.(jv)
   done;
-  (idx, parent, depth)
+  Array.iter (fun v -> idx.(v) <- -1) members;
+  (parent, depth)
 
-(* Attach the tree path anchor -> target to the partial DFS tree. *)
-let attach st ~anchor ~anchor_parent ~idx ~tree_parent target =
-  let rec path_to v acc =
-    if v = anchor then v :: acc else path_to tree_parent.(idx v) (v :: acc)
+(* Attach the tree path anchor -> target (given by its member rank) to the
+   partial DFS tree. *)
+let attach st comp ~anchor_parent ~tparent ~target_rank =
+  let rec path_to j acc =
+    let acc = comp.(j) :: acc in
+    if tparent.(j) = -1 then acc else path_to tparent.(j) acc
   in
-  let path = path_to target [] in
+  let path = path_to target_rank [] in
   let rec walk prev = function
     | [] -> ()
     | v :: rest ->
@@ -130,66 +167,307 @@ let attach st ~anchor ~anchor_parent ~idx ~tree_parent target =
 let unvisited_components st members =
   Algo.restricted_components st.g ~members ~skip:(in_tree st)
 
+type exec = {
+  serial : bool;
+  bcast_parent : int array;
+  bcast_root : int;
+  mutable stats : Composed.stats;
+}
+
+let exec_create ?(serial = false) st ~root =
+  (* The broadcast tree is shared setup, identical for both choreographies,
+     so its construction cost is deliberately not tallied. *)
+  let (bcast_parent, _), _ = Prim.bfs_tree st.g ~root in
+  { serial; bcast_parent; bcast_root = root; stats = Collective.no_stats }
+
 (* Add all separator nodes of one original component to the partial DFS
    tree.  Returns the number of halving iterations used. *)
-let join_inner ?rounds st ~members ~separator =
+let join_inner ?rounds ?exec st ~members ~separator =
+  let n = Graph.n st.g in
   let remaining = Hashtbl.create (2 * List.length separator) in
   List.iter
     (fun v -> if not (in_tree st v) then Hashtbl.replace remaining v ())
     separator;
+  let marked v = Hashtbl.mem remaining v in
+  let idx = Array.make n (-1) in
   let iterations = ref 0 in
   while Hashtbl.length remaining > 0 do
     incr iterations;
     (match rounds with
     | Some r ->
-      (* One iteration: spanning forest, anchor/leaf aggregation, re-root,
-         path marking — all Õ(D) (Section 6.1). *)
+      (* One iteration, all active components in parallel: preferring
+         forests (Lemma 9), their orders rooted at the anchors (Lemma 11 —
+         path activation becomes node-local), and the three slot-batched
+         aggregations: anchor/marked election, target election, attach
+         bookkeeping (Section 6.1). *)
       Rounds.charge_spanning_forest r;
-      Rounds.charge_aggregate r "join-anchor";
-      Rounds.charge_reroot r;
-      Rounds.charge_mark_path r
+      Rounds.charge_dfs_order r;
+      Rounds.charge_aggregate r "join-elections";
+      Rounds.charge_aggregate r "join-target";
+      Rounds.charge_aggregate r "join-attach"
     | None -> ());
-    let comps = unvisited_components st members in
-    let touched = ref false in
-    List.iter
-      (fun comp ->
-        let has_marked = Array.exists (Hashtbl.mem remaining) comp in
-        if has_marked then begin
-          match component_anchor st comp with
-          | None -> invalid_arg "Join.join: component with no tree neighbour"
-          | Some (anchor, anchor_parent) ->
-            let idx, tree_parent, tree_depth =
-              preferring_tree st comp ~anchor ~marked:(Hashtbl.mem remaining)
-            in
-            (* Deepest remaining marked node of this component's tree. *)
-            let target =
-              Array.fold_left
-                (fun acc v ->
-                  if Hashtbl.mem remaining v then begin
-                    match acc with
-                    | Some best when tree_depth.(idx best) >= tree_depth.(idx v) ->
-                      acc
-                    | _ -> Some v
-                  end
-                  else acc)
-                None comp
-            in
-            (match target with
-            | None -> ()
-            | Some h ->
-              attach st ~anchor ~anchor_parent ~idx ~tree_parent h;
+    let comps = Array.of_list (unvisited_components st members) in
+    let m = Array.length comps in
+    let forests = Array.make m None in
+    (* Batch A, host side: per-component maxima of the anchor codes and
+       marked flags (what the part-wise MAX computes per part). *)
+    let elect_anchors () =
+      let a0 = Array.make m 0 and a1 = Array.make m 0 in
+      Array.iteri
+        (fun i comp ->
+          Array.iter
+            (fun v ->
+              if marked v then a1.(i) <- 1;
+              Array.iter
+                (fun u ->
+                  if in_tree st u then begin
+                    let c = encode_anchor n ~du:st.depth.(u) ~u ~v in
+                    if c > a0.(i) then a0.(i) <- c
+                  end)
+                (Graph.neighbors st.g v))
+            comp)
+        comps;
+      (a0, a1)
+    in
+    let build_forests (a0, a1) =
+      Array.iteri
+        (fun i comp ->
+          if a1.(i) > 0 then begin
+            if a0.(i) = 0 then
+              invalid_arg "Join.join: component with no tree neighbour";
+            let anchor_parent, anchor = decode_anchor n a0.(i) in
+            let tparent, tdepth = preferring_tree st comp ~anchor ~marked ~idx in
+            forests.(i) <- Some (anchor_parent, tparent, tdepth)
+          end)
+        comps
+    in
+    (* Batch B, host side: per-component maximum of the target codes. *)
+    let elect_targets () =
+      Array.mapi
+        (fun i comp ->
+          match forests.(i) with
+          | None -> 0
+          | Some (_, _, tdepth) ->
+            let best = ref 0 in
+            Array.iteri
+              (fun j v ->
+                if marked v then begin
+                  let c = encode_target n ~depth:tdepth.(j) ~rank:j in
+                  if c > !best then best := c
+                end)
+              comp;
+            !best)
+        comps
+    in
+    let attach_all b0 =
+      let touched = ref false in
+      Array.iteri
+        (fun i comp ->
+          match forests.(i) with
+          | None -> ()
+          | Some (anchor_parent, tparent, _) ->
+            if b0.(i) > 0 then begin
+              attach st comp ~anchor_parent ~tparent
+                ~target_rank:(decode_target_rank n b0.(i));
               touched := true;
               Array.iter
                 (fun v -> if in_tree st v then Hashtbl.remove remaining v)
+                comp
+            end)
+        comps;
+      if not !touched then
+        invalid_arg "Join.join: no progress — separator nodes unreachable"
+    in
+    match exec with
+    | None ->
+      build_forests (elect_anchors ());
+      attach_all (elect_targets ())
+    | Some e ->
+      (* Run the elections for real in the engine; the host callbacks keep
+         the forest building and attaching between the batches. *)
+      let visited_depth =
+        Array.init n (fun v -> if in_tree st v then st.depth.(v) else -1)
+      in
+      let marked_arr = Array.init n marked in
+      let parts = Array.make n m in
+      Array.iteri (fun i comp -> Array.iter (fun v -> parts.(v) <- i) comp) comps;
+      let forest a =
+        let a0 = Array.map (fun comp -> a.(0).(comp.(0))) comps in
+        let a1 = Array.map (fun comp -> a.(1).(comp.(0))) comps in
+        build_forests (a0, a1);
+        let target_code = Array.make n 0 in
+        Array.iteri
+          (fun i comp ->
+            match forests.(i) with
+            | None -> ()
+            | Some (_, _, tdepth) ->
+              Array.iteri
+                (fun j v ->
+                  if marked v then
+                    target_code.(v) <- encode_target n ~depth:tdepth.(j) ~rank:j)
                 comp)
-        end)
-      comps;
-    if not !touched then
-      invalid_arg "Join.join: no progress — separator nodes unreachable"
+          comps;
+        target_code
+      in
+      let attach_cb brow =
+        attach_all (Array.map (fun comp -> brow.(comp.(0))) comps);
+        let rem = Array.init n (fun v -> if marked v then 1 else 0) in
+        let unv = Array.init n (fun v -> if in_tree st v then 0 else 1) in
+        (rem, unv)
+      in
+      let (_, _, t), stats =
+        if e.serial then
+          Composed.Reference.join_elections st.g ~bcast_parent:e.bcast_parent
+            ~root:e.bcast_root ~parts ~visited_depth ~marked:marked_arr ~forest
+            ~attach:attach_cb
+        else
+          Composed.join_elections st.g ~bcast_parent:e.bcast_parent
+            ~root:e.bcast_root ~parts ~visited_depth ~marked:marked_arr ~forest
+            ~attach:attach_cb
+      in
+      assert (t.(0) = Hashtbl.length remaining);
+      e.stats <- Collective.add e.stats stats;
+      Option.iter (fun r -> Rounds.note_exec r stats) rounds
   done;
   !iterations
 
-let join ?rounds st ~members ~separator =
+let join ?rounds ?exec st ~members ~separator =
   Repro_trace.Trace.within
     (Option.bind rounds Rounds.tracer)
-    "join" (fun () -> join_inner ?rounds st ~members ~separator)
+    "join" (fun () -> join_inner ?rounds ?exec st ~members ~separator)
+
+(* ------------------------------------------------------------------ *)
+(* The pre-batching choreography, verbatim: one anchor aggregation, a   *)
+(* re-root and a full mark-path per iteration, with a per-component     *)
+(* hash-table member index.  Kept as the differential oracle: the       *)
+(* batched join above must produce a bit-identical partial tree and     *)
+(* iteration count on every input.                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  let preferring_tree st members ~anchor ~marked =
+    let k = Array.length members in
+    let member = Hashtbl.create (2 * k) in
+    Array.iteri (fun i v -> Hashtbl.replace member v i) members;
+    let idx v = Hashtbl.find member v in
+    let uf = Repro_util.Union_find.create k in
+    let adj = Array.make k [] in
+    let add_edge u v =
+      if Repro_util.Union_find.union uf (idx u) (idx v) then begin
+        adj.(idx u) <- v :: adj.(idx u);
+        adj.(idx v) <- u :: adj.(idx v)
+      end
+    in
+    let consider pass =
+      Array.iter
+        (fun v ->
+          Array.iter
+            (fun u ->
+              if Hashtbl.mem member u && v < u then begin
+                let zero = marked v && marked u in
+                if (pass = 0 && zero) || (pass = 1 && not zero) then add_edge v u
+              end)
+            (Graph.neighbors st.g v))
+        members
+    in
+    consider 0;
+    consider 1;
+    let parent = Array.make k (-2) in
+    let depth = Array.make k (-1) in
+    parent.(idx anchor) <- -1;
+    depth.(idx anchor) <- 0;
+    let queue = Array.make k anchor in
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = queue.(!head) in
+      incr head;
+      List.iter
+        (fun u ->
+          if parent.(idx u) = -2 then begin
+            parent.(idx u) <- v;
+            depth.(idx u) <- depth.(idx v) + 1;
+            queue.(!tail) <- u;
+            incr tail
+          end)
+        adj.(idx v)
+    done;
+    (idx, parent, depth)
+
+  let attach st ~anchor ~anchor_parent ~idx ~tree_parent target =
+    let rec path_to v acc =
+      if v = anchor then v :: acc else path_to tree_parent.(idx v) (v :: acc)
+    in
+    let path = path_to target [] in
+    let rec walk prev = function
+      | [] -> ()
+      | v :: rest ->
+        st.parent.(v) <- prev;
+        st.depth.(v) <- st.depth.(prev) + 1;
+        Atomic.decr st.unvisited;
+        walk v rest
+    in
+    walk anchor_parent path
+
+  let join_inner ?rounds st ~members ~separator =
+    let remaining = Hashtbl.create (2 * List.length separator) in
+    List.iter
+      (fun v -> if not (in_tree st v) then Hashtbl.replace remaining v ())
+      separator;
+    let iterations = ref 0 in
+    while Hashtbl.length remaining > 0 do
+      incr iterations;
+      (match rounds with
+      | Some r ->
+        (* One iteration: spanning forest, anchor/leaf aggregation,
+           re-root, path marking — all Õ(D) (Section 6.1). *)
+        Rounds.charge_spanning_forest r;
+        Rounds.charge_aggregate r "join-anchor";
+        Rounds.charge_reroot r;
+        Rounds.charge_mark_path r
+      | None -> ());
+      let comps = unvisited_components st members in
+      let touched = ref false in
+      List.iter
+        (fun comp ->
+          let has_marked = Array.exists (Hashtbl.mem remaining) comp in
+          if has_marked then begin
+            match component_anchor st comp with
+            | None -> invalid_arg "Join.join: component with no tree neighbour"
+            | Some (anchor, anchor_parent) ->
+              let idx, tree_parent, tree_depth =
+                preferring_tree st comp ~anchor ~marked:(Hashtbl.mem remaining)
+              in
+              (* Deepest remaining marked node of this component's tree. *)
+              let target =
+                Array.fold_left
+                  (fun acc v ->
+                    if Hashtbl.mem remaining v then begin
+                      match acc with
+                      | Some best when tree_depth.(idx best) >= tree_depth.(idx v)
+                        ->
+                        acc
+                      | _ -> Some v
+                    end
+                    else acc)
+                  None comp
+              in
+              (match target with
+              | None -> ()
+              | Some h ->
+                attach st ~anchor ~anchor_parent ~idx ~tree_parent h;
+                touched := true;
+                Array.iter
+                  (fun v -> if in_tree st v then Hashtbl.remove remaining v)
+                  comp)
+          end)
+        comps;
+      if not !touched then
+        invalid_arg "Join.join: no progress — separator nodes unreachable"
+    done;
+    !iterations
+
+  let join ?rounds st ~members ~separator =
+    Repro_trace.Trace.within
+      (Option.bind rounds Rounds.tracer)
+      "join" (fun () -> join_inner ?rounds st ~members ~separator)
+end

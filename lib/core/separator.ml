@@ -17,9 +17,16 @@
      one side is heavy and is swept like Phase 4 from the root.
 
    Every candidate is verified with a balance probe before being returned —
-   itself an Õ(D) aggregation (DESIGN.md deviation 2).  The phase and the
-   number of candidates tried are reported so the experiments can show the
-   paper's first-choice candidate almost always wins. *)
+   but verification is amortized over each phase group: the Phase-1 tree
+   and its orders (already charged once in "sep.phase1-precompute") make
+   path membership node-local, so the candidates a phase generates ride
+   the slots of ONE running inside/outside weight aggregation on the
+   shared tree handle, instead of a fresh mark-path + aggregation per
+   candidate (the Lemma 18/19 balance-check idiom; DESIGN.md deviation 2).
+   Host-side the handle carries one scratch removal array reused by every
+   probe.  The phase and the number of candidates tried are reported so
+   the experiments can show the paper's first-choice candidate almost
+   always wins. *)
 
 open Repro_tree
 open Repro_congest
@@ -45,16 +52,29 @@ let tracer rounds = Option.bind rounds Rounds.tracer
 
 let span rounds name f = Trace.within (tracer rounds) name f
 
-(* Try the T-path between [a] and [b]; every probe costs one MARK-PATH plus
-   one aggregation. *)
-let try_path ?rounds cfg tried ~phase ~closing (a, b) =
+(* The shared verification handle of one [find]: the Phase-1 tree is held
+   by the config, the scratch removal array is reused by every probe, and
+   [batch] tracks which phase group's slot-batched balance aggregation has
+   already been charged. *)
+type verifier = { scratch : bool array; mutable batch : string option }
+
+let verifier_create n = { scratch = Array.make n false; batch = None }
+
+(* Try the T-path between [a] and [b].  The first probe of a phase group
+   charges the group's single k-slot balance aggregation (the running
+   inside/outside weights of every candidate the group generates ride one
+   collective on the Phase-1 tree); later probes of the same group are
+   free slots of it.  Path membership is node-local given the Phase-1
+   orders, so no per-candidate mark-path is charged. *)
+let try_path ?rounds cfg ver tried ~batch ~phase ~closing (a, b) =
   incr tried;
-  span rounds "sep.verify" (fun () ->
-      charge_opt rounds (fun r ->
-          Rounds.charge_mark_path r;
-          Rounds.charge_aggregate r "verify-balance"));
+  if ver.batch <> Some batch then begin
+    ver.batch <- Some batch;
+    span rounds "sep.verify" (fun () ->
+        charge_opt rounds (fun r -> Rounds.charge_aggregate r "verify-balance"))
+  end;
   let path = Rooted.path (Config.tree cfg) a b in
-  if Check.balanced cfg path then
+  if Check.balanced_with ~scratch:ver.scratch cfg path then
     Some
       {
         separator = path;
@@ -74,7 +94,7 @@ let first_some candidates =
 (* Phase 2: trees.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let tree_phase ?rounds cfg tried =
+let tree_phase ?rounds cfg ver tried =
   let tree = Config.tree cfg in
   let n = Config.n cfg in
   charge_opt rounds (fun r -> Rounds.charge_aggregate r "range-subtree");
@@ -92,7 +112,10 @@ let tree_phase ?rounds cfg tried =
          centroid path is still a valid separator. *)
       Rooted.centroid tree
   in
-  match try_path ?rounds cfg tried ~phase:"2-tree" ~closing:None (Rooted.root tree, v0) with
+  match
+    try_path ?rounds cfg ver tried ~batch:"tree" ~phase:"2-tree" ~closing:None
+      (Rooted.root tree, v0)
+  with
   | Some r -> r
   | None -> raise (No_separator_found "tree phase failed — centroid path unbalanced?")
 
@@ -206,7 +229,7 @@ let pi_for_case cfg = function
    (the paper augments from u; sweeping from v as well covers embeddings
    whose root is not on the outer face, where the augmentation geometry is
    mirrored), then the hidden-edge fallback, then the border itself. *)
-let heavy_face_candidates ?rounds cfg tried ~u ~v =
+let heavy_face_candidates ?rounds cfg ver tried ~u ~v =
   let n = Config.n cfg in
   let case = Faces.classify cfg ~u ~v in
   charge_opt rounds (fun r -> Rounds.charge_detect_face r);
@@ -232,7 +255,8 @@ let heavy_face_candidates ?rounds cfg tried ~u ~v =
               Some (u, t)
             else None
           in
-          try_path ?rounds cfg tried ~phase:"4-augmented" ~closing (anchor, t))
+          try_path ?rounds cfg ver tried ~batch:"phase4" ~phase:"4-augmented"
+            ~closing (anchor, t))
         hits
     in
     let hidden =
@@ -248,11 +272,11 @@ let heavy_face_candidates ?rounds cfg tried ~u ~v =
             first_some
               [
                 (fun () ->
-                  try_path ?rounds cfg tried ~phase:"4-hidden"
-                    ~closing:(closing z2) (anchor, z2));
+                  try_path ?rounds cfg ver tried ~batch:"phase4"
+                    ~phase:"4-hidden" ~closing:(closing z2) (anchor, z2));
                 (fun () ->
-                  try_path ?rounds cfg tried ~phase:"4-hidden"
-                    ~closing:(closing z1) (anchor, z1));
+                  try_path ?rounds cfg ver tried ~batch:"phase4"
+                    ~phase:"4-hidden" ~closing:(closing z1) (anchor, z1));
               ])
         hits
     in
@@ -262,13 +286,14 @@ let heavy_face_candidates ?rounds cfg tried ~u ~v =
     (sweep ~anchor:u ~order:`Asc
     @ [
         (fun () ->
-          try_path ?rounds cfg tried ~phase:"4-border" ~closing:(Some (u, v)) (u, v));
+          try_path ?rounds cfg ver tried ~batch:"phase4" ~phase:"4-border"
+            ~closing:(Some (u, v)) (u, v));
       ]
     @ sweep ~anchor:v ~order:`Desc)
 
 (* Phase-5 heavy-outside sweep: the region outside F_e on one side, swept
    from the tree root (simulating the virtual face F_{root,u'} of Lemma 8). *)
-let outside_sweep_candidates ?rounds cfg tried ~label region =
+let outside_sweep_candidates ?rounds cfg ver tried ~label region =
   let n = Config.n cfg in
   let root = Rooted.root (Config.tree cfg) in
   charge_opt rounds (fun r -> Rounds.charge_aggregate r "outside-sweep[Phase5]");
@@ -280,7 +305,9 @@ let outside_sweep_candidates ?rounds cfg tried ~label region =
   let hits = crossing_leaves ~n leaves in
   (* Root-anchored sweep hits carry no certified closing edge. *)
   List.map
-    (fun t () -> try_path ?rounds cfg tried ~phase:label ~closing:None (root, t))
+    (fun t () ->
+      try_path ?rounds cfg ver tried ~batch:"phase5" ~phase:label ~closing:None
+        (root, t))
     hits
 
 (* ------------------------------------------------------------------ *)
@@ -301,7 +328,10 @@ let find ?rounds cfg =
       weights_computed = 0;
     }
   else begin
-    (* Phase 1 precomputation charges. *)
+    (* Phase 1 precomputation charges; the tree, its orders and the
+       verification scratch live in one handle shared by every probe and
+       election below — nothing below re-marks or re-walks it. *)
+    let ver = verifier_create n in
     span rounds "sep.phase1-precompute" (fun () ->
         charge_opt rounds (fun r ->
             Rounds.charge_spanning_forest r;
@@ -309,7 +339,7 @@ let find ?rounds cfg =
             Rounds.charge_weights r));
     let fundamental = Config.fundamental_edges cfg in
     if fundamental = [] then
-      span rounds "sep.phase2-tree" (fun () -> tree_phase ?rounds cfg tried)
+      span rounds "sep.phase2-tree" (fun () -> tree_phase ?rounds cfg ver tried)
     else begin
       let weights =
         List.map (fun (u, v) -> ((u, v), Weights.weight cfg ~u ~v)) fundamental
@@ -327,8 +357,8 @@ let find ?rounds cfg =
             first_some
               (List.map
                  (fun ((u, v), _) () ->
-                   try_path ?rounds cfg tried ~phase:"3-face"
-                     ~closing:(Some (u, v)) (u, v))
+                   try_path ?rounds cfg ver tried ~batch:"phase3"
+                     ~phase:"3-face" ~closing:(Some (u, v)) (u, v))
                  in_range))
       in
       match phase3_result with
@@ -356,7 +386,8 @@ let find ?rounds cfg =
             in
             first_some
               (List.map
-                 (fun (u, v) () -> heavy_face_candidates ?rounds cfg tried ~u ~v)
+                 (fun (u, v) () ->
+                   heavy_face_candidates ?rounds cfg ver tried ~u ~v)
                  (primary :: others))
           end
           else
@@ -379,18 +410,23 @@ let find ?rounds cfg =
                  convention, which arbitrary embeddings need not satisfy. *)
               [
                 (fun () ->
-                  try_path ?rounds cfg tried ~phase:"5-border" ~closing:(Some (u, v)) (u, v));
+                  try_path ?rounds cfg ver tried ~batch:"phase5"
+                    ~phase:"5-border" ~closing:(Some (u, v)) (u, v));
                 (fun () ->
-                  try_path ?rounds cfg tried ~phase:"5-root-v" ~closing:None (root, v));
+                  try_path ?rounds cfg ver tried ~batch:"phase5"
+                    ~phase:"5-root-v" ~closing:None (root, v));
                 (fun () ->
-                  try_path ?rounds cfg tried ~phase:"5-root-u" ~closing:None (root, u));
+                  try_path ?rounds cfg ver tried ~batch:"phase5"
+                    ~phase:"5-root-u" ~closing:None (root, u));
               ]
             in
             let sweeps =
               if 3 * nl > 2 * n then
-                outside_sweep_candidates ?rounds cfg tried ~label:"5-left-sweep" f_left
+                outside_sweep_candidates ?rounds cfg ver tried
+                  ~label:"5-left-sweep" f_left
               else if 3 * nr > 2 * n then
-                outside_sweep_candidates ?rounds cfg tried ~label:"5-right-sweep" f_right
+                outside_sweep_candidates ?rounds cfg ver tried
+                  ~label:"5-right-sweep" f_right
               else []
             in
             (* Backup: sweep the larger outside region even when neither
@@ -403,7 +439,8 @@ let find ?rounds cfg =
                   if nl >= nr then ("5-left-sweep", f_left)
                   else ("5-right-sweep", f_right)
                 in
-                first_some (outside_sweep_candidates ?rounds cfg tried ~label region)
+                first_some
+                  (outside_sweep_candidates ?rounds cfg ver tried ~label region)
               end
             in
             first_some (base_candidates @ sweeps @ [ backup ])
@@ -420,8 +457,9 @@ let find ?rounds cfg =
             first_some
               [
                 (fun () ->
-                  try_path ?rounds cfg tried ~phase:"fallback-centroid"
-                    ~closing:None (root, Rooted.centroid tree));
+                  try_path ?rounds cfg ver tried ~batch:"fallback"
+                    ~phase:"fallback-centroid" ~closing:None
+                    (root, Rooted.centroid tree));
                 (fun () ->
                   (* Closest-to-balanced face border. *)
                   let sorted =
@@ -433,8 +471,9 @@ let find ?rounds cfg =
                   first_some
                     (List.filteri (fun i _ -> i < 50) sorted
                     |> List.map (fun ((u, v), _) () ->
-                           try_path ?rounds cfg tried ~phase:"fallback-face"
-                             ~closing:(Some (u, v)) (u, v))));
+                           try_path ?rounds cfg ver tried ~batch:"fallback"
+                             ~phase:"fallback-face" ~closing:(Some (u, v))
+                             (u, v))));
               ]
           in
           (match fallback with
@@ -448,6 +487,11 @@ let find ?rounds cfg =
    tree paths (removing more vertices only shrinks components), so a binary
    search per end suffices: O(log n) verification probes.
 
+   The probes all test contiguous windows of the ONE marked path, so the
+   removal marks are maintained incrementally — each probe flips only the
+   window boundary that moved and charges a single running-aggregate
+   update, not a fresh mark-path + re-walk.
+
    The result is still a balanced tree-path separator, but the closing edge
    of the trimmed path may no longer be insertable in the embedding — use it
    when only balance matters (e.g. divide-and-conquer applications), not
@@ -455,16 +499,26 @@ let find ?rounds cfg =
 let shrink ?rounds cfg path =
   let arr = Array.of_list path in
   let k = Array.length arr in
+  let n = Config.n cfg in
+  let removed = Array.make n false in
+  Array.iter (fun v -> removed.(v) <- true) arr;
+  let lo = ref 0 and hi = ref (k - 1) in
+  let set_window i j =
+    for x = !lo to !hi do
+      if x < i || x > j then removed.(arr.(x)) <- false
+    done;
+    for x = i to j do
+      if x < !lo || x > !hi then removed.(arr.(x)) <- true
+    done;
+    lo := i;
+    hi := j
+  in
   let balanced_sub i j =
     span rounds "sep.shrink-probe" (fun () ->
-        charge_opt rounds (fun r ->
-            Rounds.charge_mark_path r;
-            Rounds.charge_aggregate r "verify-balance"));
-    let sub = ref [] in
-    for x = j downto i do
-      sub := arr.(x) :: !sub
-    done;
-    Check.balanced cfg !sub
+        charge_opt rounds (fun r -> Rounds.charge_aggregate r "shrink-balance"));
+    set_window i j;
+    Check.max_component_without (Config.graph cfg) removed
+    <= Check.balance_limit n
   in
   if k <= 1 then path
   else begin

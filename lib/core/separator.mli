@@ -2,9 +2,13 @@
 
     [find] runs the paper's six-phase algorithm on one planar configuration;
     every candidate path is verified with a balance probe before being
-    returned (see DESIGN.md, deviation 2).  [find_partition] is Theorem 1
-    proper: separators for all parts of a partition, charged as a parallel
-    batch. *)
+    returned (see DESIGN.md, deviation 2).  Verification is amortized: one
+    shared handle (scratch marks + the phase-1 tree) serves every probe of
+    a [find], and each phase group charges a single running balance
+    aggregate — the Lemma 18/19 balance check maintained incrementally —
+    however many candidates the group tries.  [find_partition] is
+    Theorem 1 proper: separators for all parts of a partition, charged as
+    a parallel batch. *)
 
 open Repro_embedding
 open Repro_congest

@@ -473,6 +473,17 @@ let run_separator (inst : Instance.t) =
   ck ctx "shrunk separator still balanced" (Check.balanced inst.config shrunk);
   ck ctx "shrink never grows"
     (List.length shrunk <= List.length r.Separator.separator);
+  (* Amortized verification: the phase groups are tried in a fixed order
+     (tree | phase3 -> phase4/phase5 -> fallback), each maintaining one
+     running balance aggregate — so a find charges at most four
+     "verify-balance" batches, however many candidates it probes, and the
+     retired per-candidate mark-path walks must stay retired. *)
+  ck ctx
+    (Printf.sprintf "verify-balance batches %d <= 4"
+       (Rounds.label_invocations ledger "verify-balance"))
+    (Rounds.label_invocations ledger "verify-balance" <= 4);
+  ck ctx "no per-candidate mark-path walks"
+    (Rounds.label_invocations ledger "mark-path[Lem13]" = 0);
   (* Charged-model budget: the candidate loop stays polylog, and the total
      stays a polylog multiple of one part-wise aggregation (Õ(D)). *)
   let lg = log2ceil n in
@@ -486,6 +497,78 @@ let run_separator (inst : Instance.t) =
     (int_of_float
        (float_of_int (inv_budget * lg * lg) *. Rounds.pa_cost ledger));
   finish ~name:"separator" ctx
+
+(* ------------------------------------------------------------------ *)
+(* 6b. "join": Lemma 2's batched election choreography = the serial     *)
+(*     reference, bit-identically, and strictly cheaper.                *)
+(* ------------------------------------------------------------------ *)
+
+let run_join (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let n = Graph.n g in
+  let d = Algo.diameter g in
+  let root = Rooted.root (Config.tree inst.config) in
+  let members = Array.init n Fun.id in
+  let separator = (Separator.find inst.config).Separator.separator in
+  let run_join ledger exec reference =
+    let st = Join.create g ~root in
+    let iters =
+      if reference then Join.Reference.join ~rounds:ledger st ~members ~separator
+      else Join.join ~rounds:ledger ?exec st ~members ~separator
+    in
+    (st, iters)
+  in
+  let fresh () = Rounds.create ~n ~d:(max 1 d) () in
+  let lb = fresh () and lr = fresh () in
+  let stb, ib = run_join lb None false in
+  let str_, ir = run_join lr None true in
+  (* Bit-identity of the resulting partial tree and iteration count. *)
+  ck ctx "batched parent array = reference" (stb.Join.parent = str_.Join.parent);
+  ck ctx "batched depth array = reference" (stb.Join.depth = str_.Join.depth);
+  ck ctx
+    (Printf.sprintf "iteration count identical (%d vs %d)" ib ir)
+    (ib = ir);
+  (* The charged win must not silently erode: per iteration the batched
+     schedule costs 2*lg + 3 PA units against the serial lg^2 + lg + 2, so
+     it is never dearer, and from lg >= 4 (n >= 9) at least 2x cheaper. *)
+  ck ctx
+    (Printf.sprintf "charged rounds never dearer (%.0f vs %.0f)"
+       (Rounds.total lb) (Rounds.total lr))
+    (Rounds.total lb <= Rounds.total lr);
+  if log2ceil n >= 4 then
+    ck ctx
+      (Printf.sprintf "charged rounds halved (%.0f vs %.0f)" (Rounds.total lb)
+         (Rounds.total lr))
+      (2.0 *. Rounds.total lb <= Rounds.total lr);
+  ck ctx "batched join never charges mark-path"
+    (Rounds.label_invocations lb "mark-path[Lem13]" = 0);
+  (* Executed elections: batched and serial bindings agree bit-identically
+     with the host-side choreography, and the slot batching keeps a >= 2x
+     engine-run advantage (the Collect/Partwise-batch economics). *)
+  let exec_run serial =
+    let st = Join.create g ~root in
+    let e = Join.exec_create ~serial st ~root in
+    let iters = Join.join ~exec:e st ~members ~separator in
+    (st, iters, e.Join.stats)
+  in
+  let stb2, ib2, sb = exec_run false in
+  let sts2, is2, ss = exec_run true in
+  ck ctx "executed batched elections = host choreography"
+    (stb2.Join.parent = stb.Join.parent
+    && stb2.Join.depth = stb.Join.depth
+    && ib2 = ib);
+  ck ctx "executed serial elections = host choreography"
+    (sts2.Join.parent = stb.Join.parent
+    && sts2.Join.depth = stb.Join.depth
+    && is2 = ib);
+  ck ctx
+    (Printf.sprintf "join batching: serial %d runs >= 2x batched %d"
+       ss.Composed.engine_runs sb.Composed.engine_runs)
+    (ss.Composed.engine_runs >= 2 * sb.Composed.engine_runs);
+  bud ctx "join elections" sb.Composed.rounds
+    (((ib + 1) * 24 * (n + d + 8)) + 64);
+  finish ~name:"join" ctx
 
 (* ------------------------------------------------------------------ *)
 (* 7. "dfs": Theorem 2 end to end, against the centralized DFS          *)
@@ -694,6 +777,11 @@ let () =
         name = "separator";
         guards = "Theorem 1 (cycle separator, all phases)";
         run = run_separator;
+      };
+      {
+        name = "join";
+        guards = "Lemma 2 (batched JOIN = serial choreography)";
+        run = run_join;
       };
       { name = "dfs"; guards = "Theorem 2 (distributed DFS)"; run = run_dfs };
       {

@@ -1,0 +1,140 @@
+(* The batched JOIN choreography vs its serial reference.
+
+   Three claims:
+
+   1. Bit-identity: on every generator family, the slot-batched join
+      (lib/core/join.ml) produces exactly the partial tree and iteration
+      count of [Join.Reference] — the pre-batching per-component anchor
+      aggregation + re-root + mark-path choreography kept verbatim as the
+      differential oracle.
+   2. The charged schedule is >= 2x cheaper from lg >= 4 on (per
+      iteration: 2*lg + 3 PA units against lg^2 + lg + 2).
+   3. Executed for real in the message engine, the slot batching keeps a
+      >= 2x engine-run advantage over the serial per-slot binding
+      (mirroring test_collective.ml's batching-win assertions). *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_congest
+open Repro_core
+open Repro_testkit
+
+let log2ceil n = int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0))
+
+(* One joinable scenario per family: the full vertex set as members, the
+   tree root as DFS root, and a real separator of the configuration. *)
+let scenario emb =
+  let cfg = Config.of_embedded emb in
+  let g = Config.graph cfg in
+  let root = Repro_tree.Rooted.root (Config.tree cfg) in
+  let separator = (Separator.find cfg).Separator.separator in
+  (g, root, Array.init (Graph.n g) Fun.id, separator)
+
+let families () =
+  [
+    ("grid7x7", Gen.grid ~rows:7 ~cols:7);
+    ("grid-diag6", Gen.grid_diag ~seed:3 ~rows:6 ~cols:6 ());
+    ("tri90", Gen.stacked_triangulation ~seed:2 ~n:90 ());
+    ("wheel30", Gen.wheel 30);
+    ("fan25", Gen.fan 25);
+    ("cycle33", Gen.cycle 33);
+    ("star40", Gen.star 40);
+    ("path50", Gen.path 50);
+    ("rtree60", Gen.random_tree ~seed:8 ~n:60 ());
+    ("caterpillar", Gen.caterpillar ~spine:10 ~legs:5);
+  ]
+
+let test_batched_equals_reference () =
+  List.iter
+    (fun (name, emb) ->
+      let g, root, members, separator = scenario emb in
+      let n = Graph.n g in
+      let d = max 1 (Algo.diameter g) in
+      let run reference =
+        let ledger = Rounds.create ~n ~d () in
+        let st = Join.create g ~root in
+        let iters =
+          if reference then
+            Join.Reference.join ~rounds:ledger st ~members ~separator
+          else Join.join ~rounds:ledger st ~members ~separator
+        in
+        (st, iters, Rounds.total ledger)
+      in
+      let stb, ib, cb = run false in
+      let str_, ir, cr = run true in
+      Alcotest.(check bool)
+        (name ^ ": parent arrays identical")
+        true
+        (stb.Join.parent = str_.Join.parent);
+      Alcotest.(check bool)
+        (name ^ ": depth arrays identical")
+        true
+        (stb.Join.depth = str_.Join.depth);
+      Alcotest.(check int) (name ^ ": iteration count") ir ib;
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %d joined" name v)
+            true (Join.in_tree stb v))
+        separator;
+      if log2ceil n >= 4 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: charged halved (%.0f vs %.0f)" name cb cr)
+          true
+          (2.0 *. cb <= cr))
+    (families ())
+
+let test_exec_engine_run_ratio () =
+  List.iter
+    (fun (name, emb) ->
+      let g, root, members, separator = scenario emb in
+      let run serial =
+        let st = Join.create g ~root in
+        let e = Join.exec_create ~serial st ~root in
+        let iters = Join.join ~exec:e st ~members ~separator in
+        (st, iters, e.Join.stats)
+      in
+      let stb, ib, sb = run false in
+      let sts, is_, ss = run true in
+      Alcotest.(check bool)
+        (name ^ ": serial binding = batched binding")
+        true
+        (stb.Join.parent = sts.Join.parent
+        && stb.Join.depth = sts.Join.depth
+        && ib = is_);
+      (* 4 engine runs per iteration batched, 8 serial: the exchange, the
+         two-slot anchor/marked MAX, the target MAX, and the two-slot SUM
+         bookkeeping, each paying per slot under the serial binding. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: serial %d runs >= 2x batched %d" name
+           ss.Composed.engine_runs sb.Composed.engine_runs)
+        true
+        (ss.Composed.engine_runs >= 2 * sb.Composed.engine_runs))
+    [
+      ("grid6x6", Gen.grid ~rows:6 ~cols:6);
+      ("tri70", Gen.stacked_triangulation ~seed:7 ~n:70 ());
+      ("wheel24", Gen.wheel 24);
+    ]
+
+let test_batched_never_marks_paths () =
+  let g, root, members, separator = scenario (Gen.grid ~rows:8 ~cols:8) in
+  let ledger = Rounds.create ~n:(Graph.n g) ~d:(max 1 (Algo.diameter g)) () in
+  let st = Join.create g ~root in
+  ignore (Join.join ~rounds:ledger st ~members ~separator);
+  Alcotest.(check int) "no mark-path walks" 0
+    (Rounds.label_invocations ledger "mark-path[Lem13]");
+  Alcotest.(check bool) "elections charged" true
+    (Rounds.label_invocations ledger "join-elections" > 0)
+
+let suites =
+  Suite.make __MODULE__
+    [
+      Alcotest.test_case "batched join = reference on all families" `Quick
+        test_batched_equals_reference;
+      Alcotest.test_case "executed elections: >=2x fewer engine runs" `Quick
+        test_exec_engine_run_ratio;
+      Alcotest.test_case "batched join retires mark-path" `Quick
+        test_batched_never_marks_paths;
+      Suite.property ~count:25 ~max_size:56 ~seed:204 ~oracles:[ "join" ]
+        "batched = reference = executed, >=2x cheaper (fuzz)";
+    ]

@@ -20,6 +20,7 @@ let () =
          Test_hidden.suites;
          Test_separator.suites;
          Test_dfs.suites;
+         Test_join.suites;
          Test_decomposition.suites;
          Test_composed.suites;
          Test_baseline.suites;

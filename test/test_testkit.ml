@@ -72,7 +72,7 @@ let test_registry_names () =
     "built-ins in registration order"
     [
       "engine"; "orders"; "collective"; "faces"; "pipeline"; "separator";
-      "dfs"; "forest"; "pool";
+      "join"; "dfs"; "forest"; "pool";
     ]
     (Oracle.names ());
   List.iter

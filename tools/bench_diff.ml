@@ -11,6 +11,12 @@
    - "wall_seconds" may regress by at most the tolerance (default +30%).
      Baselines under 1s are skipped: timer noise dominates there.
 
+   Besides the pass/fail verdict, every shared metrics instance gets a
+   per-span delta table: self-attributed charged rounds aggregated by span
+   name over both trees (first-visit order), with the old/new/% change —
+   so a gate failure, or an intentional baseline regeneration, shows WHERE
+   the rounds moved instead of just that they did.
+
    At least one metrics-bearing comparison must happen, so an empty
    intersection (or a baseline predating the metrics emitter) fails loudly
    instead of vacuously passing. *)
@@ -57,6 +63,61 @@ let wall e =
 (* The minimum wall time (s) for the baseline before the tolerance check
    applies at all: under this, scheduler noise swamps the signal. *)
 let wall_noise_floor = 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Per-span delta table.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let num = function
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> 0.0
+
+(* Self-attributed charged rounds per span name, summed over the whole
+   tree; the top-level span also contributes its inclusive total under
+   "(total)" so the table always leads with the headline number. *)
+let span_profile root =
+  let order = ref [] (* names, reverse first-visit order *)
+  and acc = Hashtbl.create 32 in
+  let add name v =
+    match Hashtbl.find_opt acc name with
+    | Some r -> r := !r +. v
+    | None ->
+      order := name :: !order;
+      Hashtbl.add acc name (ref v)
+  in
+  let rec walk j =
+    (match Json.member "name" j with
+    | Some (Json.String name) ->
+      add name (num (Option.bind (Json.member "self" j) (Json.member "charged_rounds")))
+    | _ -> ());
+    match Json.member "children" j with
+    | Some (Json.List cs) -> List.iter walk cs
+    | _ -> ()
+  in
+  add "(total)" (num (Json.member "charged_rounds" root));
+  walk root;
+  List.rev_map (fun name -> (name, !(Hashtbl.find acc name))) !order
+
+let print_delta_table exp_name inst base cur =
+  let bp = span_profile base and cp = span_profile cur in
+  let names =
+    List.map fst bp
+    @ List.filter (fun n -> not (List.mem_assoc n bp)) (List.map fst cp)
+  in
+  Printf.printf "  %s/%s charged rounds by span:\n" exp_name inst;
+  Printf.printf "    %-28s %14s %14s %9s\n" "span" "baseline" "current" "delta";
+  List.iter
+    (fun name ->
+      let b = Option.value ~default:0.0 (List.assoc_opt name bp)
+      and c = Option.value ~default:0.0 (List.assoc_opt name cp) in
+      let delta =
+        if b = c then "="
+        else if b = 0.0 then "new"
+        else Printf.sprintf "%+.1f%%" (100.0 *. (c -. b) /. b)
+      in
+      Printf.printf "    %-28s %14.0f %14.0f %9s\n" name b c delta)
+    names
 
 let () =
   let baseline_path = ref None and current_path = ref None in
@@ -105,7 +166,8 @@ let () =
                 incr metric_cmps;
                 if not (Json.equal bj cj) then
                   failf "! %s/%s: metrics differ from baseline (deterministic counters changed)\n"
-                    name key)
+                    name key;
+                print_delta_table name key bj cj)
             bm;
           List.iter
             (fun (key, _) ->
