@@ -1,4 +1,4 @@
-(* Benchmark harness: regenerates every experiment table (E1..E15) and figure
+(* Benchmark harness: regenerates every experiment table (E1..E16) and figure
    series (F1..F3) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
    micro-benchmarks of the core routines.
 
@@ -21,8 +21,37 @@ let section title = pf "\n######## %s ########\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable recording: every table printed by an experiment is  *)
-(* also captured, and the whole run is dumped to BENCH_3.json.          *)
+(* also captured, and the whole run is dumped to BENCH_5.json.          *)
 (* ------------------------------------------------------------------ *)
+
+(* Peak resident set size of this process, from the kernel's high-water
+   mark (VmHWM in /proc/self/status, kB).  0 where /proc is unavailable.
+   [reset_peak_rss] rearms the mark (write "5" to /proc/self/clear_refs),
+   so each experiment reports its own peak rather than the run's maximum;
+   where the reset is unsupported the values degrade to a monotone
+   high-water mark, still an upper bound per experiment. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line -> (
+        match Scanf.sscanf_opt line "VmHWM: %d kB" Fun.id with
+        | Some kb -> kb
+        | None -> scan ())
+    in
+    let kb = scan () in
+    close_in_noerr ic;
+    kb
+
+let reset_peak_rss () =
+  match open_out "/proc/self/clear_refs" with
+  | exception Sys_error _ -> ()
+  | oc ->
+    (try output_string oc "5" with Sys_error _ -> ());
+    close_out_noerr oc
 
 let current_exp = ref "-"
 let recorded : (string * Table.t) list ref = ref []
@@ -67,7 +96,7 @@ let write_json ~path ~jobs ~timings =
       (json_list
          (List.map (fun r -> json_list (List.map json_str r)) (Table.rows t)))
   in
-  let exp_json (name, wall) =
+  let exp_json (name, wall, rss_kb) =
     let tables =
       List.rev !recorded
       |> List.filter (fun (e, _) -> e = name)
@@ -80,8 +109,8 @@ let write_json ~path ~jobs ~timings =
              json_str k ^ ":" ^ Repro_trace.Json.to_string j)
     in
     Printf.sprintf
-      "{\"name\":%s,\"wall_seconds\":%.3f,\"metrics\":{%s},\"tables\":%s}"
-      (json_str name) wall
+      "{\"name\":%s,\"wall_seconds\":%.3f,\"peak_rss_kb\":%d,\"metrics\":{%s},\"tables\":%s}"
+      (json_str name) wall rss_kb
       (String.concat "," metrics)
       (json_list tables)
   in
@@ -1335,6 +1364,96 @@ let e15 ~short () =
   pf " number of candidates tried, as in the per-candidate re-walk model)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E16: the flat CSR store at scale — rounds/sec and peak RSS vs n.    *)
+(* ------------------------------------------------------------------ *)
+
+let e16 ~short () =
+  section "E16  Flat CSR store at scale (Thm 1 partition over 32 parts)";
+  pf "expected: the 10^6-node find_partition completes in flat memory;\n";
+  pf " output and charged rounds bit-identical for every --jobs; wall-clock\n";
+  pf " speedup bounded by the physical core count\n";
+  pf "(this host: %d recommended domains)\n" (Domain.recommended_domain_count ());
+  let t =
+    Table.create ~title:"E16 (grid, 32 row-band parts)"
+      [
+        "n"; "m"; "D"; "jobs"; "wall (s)"; "charged rounds"; "rounds/s";
+        "speedup"; "identical"; "peak RSS (MB)";
+      ]
+  in
+  (* Square grids: known diameter 2*(side-1), connected row bands make a
+     valid partition, and per-part separator work is uniform across the
+     batch — the best case for part-parallelism, so the speedup column is
+     an upper bound for what --jobs buys on this host. *)
+  let sides = if short then [ 316 ] else [ 316; 1000 ] in
+  let bands = 32 in
+  List.iter
+    (fun side ->
+      let emb = Gen.grid ~rows:side ~cols:side in
+      let g = Embedded.graph emb in
+      let n = Graph.n g in
+      let d = 2 * (side - 1) in
+      let parts =
+        List.init bands (fun b ->
+            let lo = b * side / bands and hi = (b + 1) * side / bands in
+            List.init ((hi - lo) * side) (fun i -> (lo * side) + i))
+        |> List.filter (fun p -> p <> [])
+      in
+      let run jobs =
+        let tracer = Repro_trace.Trace.create () in
+        let rounds = Rounds.create ~trace:tracer ~n ~d () in
+        let t0 = Unix.gettimeofday () in
+        let rs =
+          Pool.with_pool ~jobs (fun pool ->
+              Separator.find_partition ~rounds ~pool emb ~parts)
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let seps = List.map (fun (_, r) -> r.Separator.separator) rs in
+        (seps, Rounds.total rounds, wall, tracer)
+      in
+      let base = ref None in
+      List.iter
+        (fun jobs ->
+          let seps, charged, wall, tracer = run jobs in
+          let s1, w1 =
+            match !base with
+            | None ->
+              base := Some (seps, charged, wall);
+              (* The per-size metrics document for the bench-diff exact
+                 gate: the charged ledger is jobs-independent, and both
+                 --short and full mode run this size, so the committed
+                 full-run baseline gates the CI short run too. *)
+              if side = 316 then
+                record_metrics
+                  (Printf.sprintf "grid-%d" n)
+                  (Repro_trace.Trace.to_metrics tracer);
+              (seps, wall)
+            | Some (s1, c1, w1) ->
+              assert (c1 = charged);
+              (s1, w1)
+          in
+          let identical = seps = s1 in
+          assert identical;
+          Table.add_row t
+            [
+              Table.fmt_int n;
+              Table.fmt_int (Graph.m g);
+              Table.fmt_int d;
+              Table.fmt_int jobs;
+              Table.fmt_float ~digits:2 wall;
+              Printf.sprintf "%.0f" charged;
+              Table.fmt_int (int_of_float (charged /. Float.max wall 1e-9));
+              Table.fmt_float ~digits:2 (w1 /. wall);
+              string_of_bool identical;
+              Table.fmt_float ~digits:1 (float_of_int (peak_rss_kb ()) /. 1024.0);
+            ])
+        [ 1; 4; 8 ])
+    sides;
+  output t;
+  pf "(identical = per-part separators equal to the jobs=1 run; peak RSS is\n";
+  pf " the process high-water mark (/proc VmHWM), monotone within the\n";
+  pf " experiment, so same-n rows share the largest run's mark)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1380,12 +1499,12 @@ let micro () =
 
 let () =
   (* usage: main [--jobs N] [--short] [--out PATH] [experiment]
-     (experiment: e1..e14, f1..f3, micro; default all).  --short shrinks
+     (experiment: e1..e16, f1..f3, micro; default all).  --short shrinks
      instance sizes for the CI smoke run; --out overrides the JSON dump
-     path (default BENCH_4.json). *)
+     path (default BENCH_5.json). *)
   let jobs = ref (Pool.default_jobs ()) in
   let short = ref false in
-  let out = ref "BENCH_4.json" in
+  let out = ref "BENCH_5.json" in
   let only = ref None in
   let argc = Array.length Sys.argv in
   let i = ref 1 in
@@ -1409,10 +1528,11 @@ let () =
     | Some o when o <> name -> ()
     | _ ->
       current_exp := name;
+      reset_peak_rss ();
       let t0 = Sys.time () in
       let w0 = Unix.gettimeofday () in
       f ();
-      timings := (name, Unix.gettimeofday () -. w0) :: !timings;
+      timings := (name, Unix.gettimeofday () -. w0, peak_rss_kb ()) :: !timings;
       pf "[%s done in %.1fs cpu]\n" name (Sys.time () -. t0)
   in
   pf "Deterministic Distributed DFS via Cycle Separators — experiment harness\n";
@@ -1434,6 +1554,7 @@ let () =
   run "e13" (e13 ~short:!short);
   run "e14" (e14 ~jobs:!jobs);
   run "e15" (e15 ~short:!short);
+  run "e16" (e16 ~short:!short);
   run "f3" (f3 ~short:!short);
   run "micro" micro;
   write_json ~path:!out ~jobs:!jobs ~timings:(List.rev !timings);

@@ -26,6 +26,18 @@ let spec_arg =
   Arg.(
     value & opt_all string [] & info [ "spec" ] ~docv:"FAMILY:N:SEED:SPANNING" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for part-parallel batches.  Defaults to \
+     Domain.recommended_domain_count (), i.e. one per hardware thread; the \
+     flat graph store is shared read-only across domains.  Output is \
+     bit-identical for every value; 1 runs fully sequentially."
+  in
+  Arg.(
+    value
+    & opt int (Repro_util.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 (* (name, embedding, spanning) triples from explicit spec strings. *)
 let instances_of_specs specs =
   List.map
@@ -231,13 +243,14 @@ let separator_cmd =
 (* ------------------------------------------------------------------ *)
 
 let dfs_cmd =
-  let run specs =
+  let run specs jobs =
+    Repro_util.Pool.with_pool ~jobs @@ fun pool ->
     let failures = ref 0 and total = ref 0 in
     let max_phases = ref 0 in
     let check ?spanning name emb =
       incr total;
       let root = Embedded.outer emb in
-      match Dfs.run ?spanning emb ~root with
+      match Dfs.run ?spanning ~pool emb ~root with
       | exception e ->
         incr failures;
         Printf.printf "EXCEPTION %s: %s\n" name (Printexc.to_string e)
@@ -271,7 +284,7 @@ let dfs_cmd =
         ];
       (* One detailed run. *)
       let emb = Gen.grid_diag ~seed:3 ~rows:20 ~cols:20 () in
-      let r = Dfs.run emb ~root:0 in
+      let r = Dfs.run ~pool emb ~root:0 in
       Printf.printf "tgrid20x20: phases=%d max_join=%d valid=%b\n" r.Dfs.phases
         r.Dfs.max_join_iterations
         (Dfs.verify emb ~root:0 r);
@@ -285,7 +298,7 @@ let dfs_cmd =
     Printf.printf "total=%d failures=%d max_phases=%d\n" !total !failures !max_phases;
     exit (if !failures = 0 then 0 else 1)
   in
-  let term = Term.(const run $ spec_arg) in
+  let term = Term.(const run $ spec_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "dfs" ~doc:"Stress the deterministic DFS construction")
     term

@@ -45,9 +45,10 @@ let spanning_of_string seed = function
 
 let jobs_arg =
   let doc =
-    "Worker domains for part-parallel batches (default: the machine's \
-     recommended domain count, capped at 8).  Output is bit-identical for \
-     every value; 1 runs fully sequentially."
+    "Worker domains for part-parallel batches.  Defaults to \
+     Domain.recommended_domain_count (), i.e. one per hardware thread; the \
+     flat graph store is shared read-only across domains.  Output is \
+     bit-identical for every value; 1 runs fully sequentially."
   in
   Arg.(
     value

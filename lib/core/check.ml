@@ -43,9 +43,11 @@ let is_tree_path tree members =
     List.iter (fun v -> Hashtbl.replace mem v ()) members;
     let tree_nbrs v =
       let p = Rooted.parent tree v in
-      let cs = Array.to_list (Rooted.children tree v) in
-      let all = if p >= 0 then p :: cs else cs in
-      List.filter (Hashtbl.mem mem) all
+      let cs =
+        Rooted.children tree v
+        |> Array.to_seq |> Seq.filter (Hashtbl.mem mem) |> List.of_seq
+      in
+      if p >= 0 && Hashtbl.mem mem p then p :: cs else cs
     in
     let degs = List.map (fun v -> List.length (tree_nbrs v)) members in
     let ok_degree =
@@ -125,7 +127,7 @@ let connected_partition g parts =
       in
       visit seed;
       while not (Queue.is_empty q) do
-        Array.iter visit (Graph.neighbors g (Queue.pop q))
+        Graph.iter_neighbors g (Queue.pop q) visit
       done;
       !reached = List.length part
   in

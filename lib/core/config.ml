@@ -80,32 +80,22 @@ let of_embedded ?(spanning = Spanning.Bfs) ?root ?root_first emb =
   let tree = Rooted.build ?root_first ~rot:(Embedded.rot emb) ~root parent in
   { graph = g; rot = Embedded.rot emb; tree; root_first; to_global = None }
 
-(* Restrict a rotation system to an induced subgraph: keep only surviving
-   neighbours, preserving their circular order. *)
-let induced_rotation rot g_sub ~new_of_old ~old_of_new =
-  let orders =
-    Array.init (Graph.n g_sub) (fun v ->
-        let old_v = old_of_new.(v) in
-        Rotation.order rot old_v
-        |> Array.to_list
-        |> List.filter_map (fun u ->
-               let nu = new_of_old.(u) in
-               if nu >= 0 && Graph.mem_edge g_sub v nu then Some nu else None)
-        |> Array.of_list)
-  in
-  Rotation.of_orders g_sub orders
-
 (* Hot path of every part-parallel batch: [members] is a plain int array
-   (components come out of [Algo.restricted_components] that way), and
-   membership is a bool array — no per-part lists or hash tables. *)
+   (components come out of [Algo.restricted_components] that way).  The
+   induced build runs through a per-domain scratch, so a batch of parts
+   allocates nothing proportional to the GLOBAL n — each worker domain
+   reads the shared flat graph/rotation store and compacts its own part
+   into fresh flat arrays sized by the part. *)
+let scratch_key = Domain.DLS.new_key Graph.Scratch.create
+
 let of_part ?(spanning = Spanning.Bfs) ~members ~root emb =
   let g = Embedded.graph emb in
-  let keep = Array.make (Graph.n g) false in
-  Array.iter (fun v -> keep.(v) <- true) members;
-  if not keep.(root) then invalid_arg "Config.of_part: root not in part";
-  let g_sub, new_of_old, old_of_new = Graph.induced g keep in
+  let scratch = Domain.DLS.get scratch_key in
+  let g_sub, new_of_old, old_of_new = Graph.induced_members ~scratch g members in
+  if root < 0 || root >= Graph.n g || new_of_old.(root) < 0 then
+    invalid_arg "Config.of_part: root not in part";
   let rot_sub =
-    induced_rotation (Embedded.rot emb) g_sub ~new_of_old ~old_of_new
+    Rotation.induced (Embedded.rot emb) ~sub:g_sub ~new_of_old ~old_of_new
   in
   let local_root = new_of_old.(root) in
   let parent = Spanning.make spanning g_sub ~root:local_root in

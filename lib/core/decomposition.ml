@@ -158,9 +158,9 @@ let rec exact_mis g alive =
     for v = 0 to Graph.n g - 1 do
       if alive.(v) then begin
         let deg =
-          Array.fold_left
+          Graph.fold_neighbors g v
             (fun acc u -> if alive.(u) then acc + 1 else acc)
-            0 (Graph.neighbors g v)
+            0
         in
         if deg > !best_deg then begin
           best := v;
@@ -184,7 +184,7 @@ let rec exact_mis g alive =
     let with_v =
       let alive' = Array.copy alive in
       alive'.(v) <- false;
-      Array.iter (fun u -> alive'.(u) <- false) (Graph.neighbors g v);
+      Graph.iter_neighbors g v (fun u -> alive'.(u) <- false);
       v :: exact_mis g alive'
     in
     if List.length with_v >= List.length without then with_v else without
@@ -225,13 +225,11 @@ let piece_diameter_bfs g inside src =
     let u = Queue.pop queue in
     let du = Hashtbl.find dist u in
     if du > snd !far then far := (u, du);
-    Array.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if Hashtbl.mem inside v && not (Hashtbl.mem dist v) then begin
           Hashtbl.replace dist v (du + 1);
           Queue.add v queue
         end)
-      (Graph.neighbors g u)
   done;
   !far
 

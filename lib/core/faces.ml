@@ -122,10 +122,13 @@ let child_inside cfg ~u ~v ~case x c =
 (* Tree children of border node [x] lying inside F_e, in rotation order. *)
 let inside_children cfg ~u ~v ~case x =
   let tree = Config.tree cfg in
-  Rooted.children tree x
-  |> Array.to_list
-  |> List.filter (fun c ->
-         (not (on_border cfg ~u ~v c)) && child_inside cfg ~u ~v ~case x c)
+  List.rev
+    (Rooted.fold_children tree x
+       (fun acc c ->
+         if (not (on_border cfg ~u ~v c)) && child_inside cfg ~u ~v ~case x c
+         then c :: acc
+         else acc)
+       [])
 
 (* ------------------------------------------------------------------ *)
 (* Interior membership in O(log n) (Remark 1 + Claims 3 and 5).        *)

@@ -60,7 +60,7 @@ let unvisited st = Atomic.get st.unvisited
 let component_anchor st members =
   Array.fold_left
     (fun acc v ->
-      Array.fold_left
+      Graph.fold_neighbors st.g v
         (fun acc u ->
           if in_tree st u then begin
             match acc with
@@ -71,7 +71,7 @@ let component_anchor st members =
             | _ -> Some (v, u)
           end
           else acc)
-        acc (Graph.neighbors st.g v))
+        acc)
     None members
 
 (* Election codes.  The part-wise MAX of the anchor codes picks the
@@ -111,13 +111,11 @@ let preferring_tree st members ~anchor ~marked ~idx =
   let consider pass =
     Array.iter
       (fun v ->
-        Array.iter
-          (fun u ->
+        Graph.iter_neighbors st.g v (fun u ->
             if idx.(u) >= 0 && v < u then begin
               let zero = marked v && marked u in
               if (pass = 0 && zero) || (pass = 1 && not zero) then add_edge v u
-            end)
-          (Graph.neighbors st.g v))
+            end))
       members
   in
   consider 0;
@@ -218,13 +216,11 @@ let join_inner ?rounds ?exec st ~members ~separator =
           Array.iter
             (fun v ->
               if marked v then a1.(i) <- 1;
-              Array.iter
-                (fun u ->
+              Graph.iter_neighbors st.g v (fun u ->
                   if in_tree st u then begin
                     let c = encode_anchor n ~du:st.depth.(u) ~u ~v in
                     if c > a0.(i) then a0.(i) <- c
-                  end)
-                (Graph.neighbors st.g v))
+                  end))
             comp)
         comps;
       (a0, a1)

@@ -105,10 +105,10 @@ module Dmp = struct
     g : Graph.t;
     mutable faces : int list list;
     in_g : bool array; (* vertex embedded *)
-    edge_in : (int, unit) Hashtbl.t; (* embedded edges, encoded *)
+    edge_in : (int * int, unit) Hashtbl.t; (* embedded edges, (min, max) *)
   }
 
-  let encode u v = if u < v then (u * 0x40000000) + v else (v * 0x40000000) + u
+  let encode u v = if u < v then (u, v) else (v, u)
 
   let edge_embedded st u v = Hashtbl.mem st.edge_in (encode u v)
 
@@ -409,7 +409,7 @@ let embed g =
     let blocks = biconnected_components g in
     let orders = Array.make n [] in
     let covered = Hashtbl.create (2 * Graph.m g) in
-    let encode u v = if u < v then (u * 0x40000000) + v else (v * 0x40000000) + u in
+    let encode u v = if u < v then (u, v) else (v, u) in
     let ok = ref true in
     List.iter
       (fun block_edges ->

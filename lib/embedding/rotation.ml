@@ -1,98 +1,152 @@
-(* Combinatorial planar embeddings as rotation systems.
+(* Combinatorial planar embeddings as rotation systems, stored flat.
 
-   [order.(v)] lists the neighbours of v in clockwise order around v.  The
-   order is circular; [position] gives the index of a neighbour within it.
-   Positions are looked up through one hash table over encoded vertex pairs,
-   which keeps the per-query cost O(1). *)
+   The rotation of every vertex lives in one int array aligned with the
+   graph's CSR rows: the clockwise neighbour order of [v] occupies
+   [Graph.adj_offset g v .. + degree v - 1] of [ord].  A parallel array
+   maps each SORTED-adjacency rank to its rotation index, so [position]
+   is one binary search plus one array read — no hash table, no encoded
+   vertex pairs, nothing for the GC to walk, and domains share the whole
+   structure read-only. *)
 
 open Repro_graph
 
 type t = {
-  order : int array array;
-  pos : (int, int) Hashtbl.t; (* encode v u -> index of u in order.(v) *)
+  g : Graph.t;
+  ord : int array; (* 2m: clockwise orders, row of v at adj_offset v *)
+  pos_of_rank : int array; (* 2m: rotation index of the rank-th neighbour *)
 }
 
-let encode v u = (v * 0x40000000) + u
+let graph t = t.g
+let degree t v = Graph.degree t.g v
+let nth t v i = t.ord.(Graph.adj_offset t.g v + i)
 
 let of_orders g order =
   if Array.length order <> Graph.n g then
     invalid_arg "Rotation.of_orders: wrong number of vertices";
-  let pos = Hashtbl.create (4 * Graph.m g) in
+  let ord = Array.make (2 * Graph.m g) 0 in
+  let pos_of_rank = Array.make (2 * Graph.m g) (-1) in
   Array.iteri
     (fun v nbrs ->
       if Array.length nbrs <> Graph.degree g v then
         invalid_arg "Rotation.of_orders: degree mismatch";
+      let off = Graph.adj_offset g v in
       Array.iteri
         (fun i u ->
-          if not (Graph.mem_edge g v u) then
+          let r = Graph.neighbor_rank g v u in
+          if r < 0 then
             invalid_arg "Rotation.of_orders: rotation lists a non-edge";
-          if Hashtbl.mem pos (encode v u) then
+          if pos_of_rank.(off + r) >= 0 then
             invalid_arg "Rotation.of_orders: duplicate neighbour";
-          Hashtbl.add pos (encode v u) i)
+          pos_of_rank.(off + r) <- i;
+          ord.(off + i) <- u)
         nbrs)
     order;
-  { order; pos }
+  { g; ord; pos_of_rank }
 
+(* The graph's own (sorted) adjacency as the rotation: both flat arrays
+   are the identity over each row, no validation needed. *)
 let of_adjacency g =
-  of_orders g (Array.init (Graph.n g) (fun v -> Array.copy (Graph.neighbors g v)))
+  let sz = 2 * Graph.m g in
+  let ord = Array.make sz 0 in
+  let pos_of_rank = Array.make sz 0 in
+  for v = 0 to Graph.n g - 1 do
+    let off = Graph.adj_offset g v in
+    for i = 0 to Graph.degree g v - 1 do
+      ord.(off + i) <- Graph.nth_neighbor g v i;
+      pos_of_rank.(off + i) <- i
+    done
+  done;
+  { g; ord; pos_of_rank }
 
-let order t v = t.order.(v)
+(* Restriction of a rotation to an induced subgraph, built flat without
+   re-validation: dropping non-members from a circular order keeps it a
+   valid rotation, and the sub-CSR rows are exactly the kept neighbours.
+   [new_of_old] maps members to their [sub] ids (-1 outside — the
+   scratch-backed map from [Graph.induced_members] works as-is). *)
+let induced t ~sub ~new_of_old ~old_of_new =
+  let sz = 2 * Graph.m sub in
+  let ord = Array.make sz 0 in
+  let pos_of_rank = Array.make sz 0 in
+  for nv = 0 to Graph.n sub - 1 do
+    let v = old_of_new.(nv) in
+    let off = Graph.adj_offset t.g v in
+    let noff = Graph.adj_offset sub nv in
+    let i = ref 0 in
+    for k = 0 to Graph.degree t.g v - 1 do
+      let nu = new_of_old.(t.ord.(off + k)) in
+      if nu >= 0 then begin
+        let r = Graph.neighbor_rank sub nv nu in
+        pos_of_rank.(noff + r) <- !i;
+        ord.(noff + !i) <- nu;
+        incr i
+      end
+    done
+  done;
+  { g = sub; ord; pos_of_rank }
 
-let degree t v = Array.length t.order.(v)
+let order t v = Array.sub t.ord (Graph.adj_offset t.g v) (degree t v)
 
 let position t v u =
-  match Hashtbl.find_opt t.pos (encode v u) with
-  | Some i -> i
-  | None -> invalid_arg "Rotation.position: not a neighbour"
+  let r = Graph.neighbor_rank t.g v u in
+  if r < 0 then invalid_arg "Rotation.position: not a neighbour";
+  t.pos_of_rank.(Graph.adj_offset t.g v + r)
 
 let next_clockwise t v u =
   let d = degree t v in
-  t.order.(v).((position t v u + 1) mod d)
+  t.ord.(Graph.adj_offset t.g v + ((position t v u + 1) mod d))
 
 let prev_clockwise t v u =
   let d = degree t v in
-  t.order.(v).(((position t v u - 1) + d) mod d)
+  t.ord.(Graph.adj_offset t.g v + ((position t v u - 1 + d) mod d))
 
-(* Circular order around [v] starting at [first] (exclusive of [first] when
-   [strict] — callers usually want the parent edge first). *)
+(* Circular order around [v] starting at [first] (callers usually want the
+   parent edge first). *)
 let order_from t v ~first =
   let d = degree t v in
+  let off = Graph.adj_offset t.g v in
   let i0 = position t v first in
-  Array.init d (fun k -> t.order.(v).((i0 + k) mod d))
+  Array.init d (fun k -> t.ord.(off + ((i0 + k) mod d)))
 
 (* Face traversal.  A dart is a directed edge (u, v).  Following the "next
    dart" rule below partitions all 2m darts into closed walks; for a genus-0
    rotation system those walks are exactly the faces of the embedding.  With
    clockwise vertex rotations this rule walks each face so that its interior
-   lies to the left of the traversal. *)
+   lies to the left of the traversal.  Visited marks live in a flat bool
+   array indexed by dart id [adj_offset u + rank of v]. *)
 let next_dart t (u, v) = (v, next_clockwise t v u)
 
-let faces g t =
-  let darts = Hashtbl.create (4 * Graph.m g) in
-  Graph.iter_edges g (fun u v ->
-      Hashtbl.replace darts (encode u v) false;
-      Hashtbl.replace darts (encode v u) false);
-  let result = ref [] in
-  let visit (u, v) =
-    if not (Hashtbl.find darts (encode u v)) then begin
+let dart_id t u v = Graph.adj_offset t.g u + Graph.neighbor_rank t.g u v
+
+let iter_faces g t f =
+  let seen = Array.make (2 * Graph.m g) false in
+  let visit u v =
+    if not (seen.(dart_id t u v)) then begin
       let walk = ref [] in
       let rec go (a, b) =
-        if not (Hashtbl.find darts (encode a b)) then begin
-          Hashtbl.replace darts (encode a b) true;
+        let id = dart_id t a b in
+        if not seen.(id) then begin
+          seen.(id) <- true;
           walk := (a, b) :: !walk;
           go (next_dart t (a, b))
         end
       in
       go (u, v);
-      result := List.rev !walk :: !result
+      f (List.rev !walk)
     end
   in
   Graph.iter_edges g (fun u v ->
-      visit (u, v);
-      visit (v, u));
-  !result
+      visit u v;
+      visit v u)
 
-let count_faces g t = List.length (faces g t)
+let faces g t =
+  let result = ref [] in
+  iter_faces g t (fun walk -> result := walk :: !result);
+  List.rev !result
+
+let count_faces g t =
+  let k = ref 0 in
+  iter_faces g t (fun _ -> incr k);
+  !k
 
 (* Euler's formula, per component (each lives on its own sphere): a
    component with at least one edge satisfies V - E + F = 2, while an

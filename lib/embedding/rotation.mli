@@ -1,7 +1,11 @@
 (** Combinatorial planar embeddings as rotation systems.
 
     For every vertex [v], the rotation lists the neighbours of [v] in
-    clockwise order (the paper's [t_v]).  The order is circular. *)
+    clockwise order (the paper's [t_v]).  The order is circular.
+
+    Stored as two flat int arrays aligned with the graph's CSR rows, so a
+    rotation adds no per-vertex boxes and is shared read-only across
+    worker domains together with its graph. *)
 
 open Repro_graph
 
@@ -12,11 +16,24 @@ val of_orders : Graph.t -> int array array -> t
     order is a permutation of the adjacency. *)
 
 val of_adjacency : Graph.t -> t
-(** Use the graph's adjacency order as the rotation (useful for trees, where
-    any rotation system is planar). *)
+(** Use the graph's (sorted) adjacency order as the rotation (useful for
+    trees, where any rotation system is planar). *)
+
+val induced : t -> sub:Graph.t -> new_of_old:int array -> old_of_new:int array -> t
+(** Restriction of a rotation to an induced subgraph of its graph, built
+    flat without re-validation.  [sub] and the two maps must come from
+    [Graph.induced] / [Graph.induced_members] on the rotation's graph. *)
+
+val graph : t -> Graph.t
+(** The graph this rotation embeds. *)
 
 val order : t -> int -> int array
-(** Clockwise neighbour order of a vertex (do not mutate). *)
+(** Clockwise neighbour order of a vertex.  Allocates a fresh array —
+    hot paths use {!nth}. *)
+
+val nth : t -> int -> int -> int
+(** [nth t v i] is the [i]-th neighbour in the rotation of [v]
+    (unchecked: [0 <= i < degree t v]), without allocating. *)
 
 val degree : t -> int -> int
 
@@ -36,6 +53,9 @@ val next_dart : t -> int * int -> int * int
 
 val faces : Graph.t -> t -> (int * int) list list
 (** All faces as closed dart walks (each dart appears in exactly one face). *)
+
+val iter_faces : Graph.t -> t -> ((int * int) list -> unit) -> unit
+(** Apply to each face walk without retaining the face list. *)
 
 val count_faces : Graph.t -> t -> int
 

@@ -11,13 +11,11 @@ let bfs_dist g src =
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if dist.(v) < 0 then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v queue
         end)
-      (Graph.neighbors g u)
   done;
   dist
 
@@ -30,13 +28,11 @@ let bfs_parents g src =
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if parent.(v) = -2 then begin
           parent.(v) <- u;
           Queue.add v queue
         end)
-      (Graph.neighbors g u)
   done;
   parent
 
@@ -53,13 +49,11 @@ let components g =
       Queue.add v queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        Array.iter
-          (fun w ->
+        Graph.iter_neighbors g u (fun w ->
             if comp.(w) < 0 then begin
               comp.(w) <- id;
               Queue.add w queue
             end)
-          (Graph.neighbors g u)
       done
     end
   done;
@@ -95,14 +89,12 @@ let restricted_components g ~members ~skip =
         while !head < !tail do
           let x = queue.(!head) in
           incr head;
-          Array.iter
-            (fun u ->
+          Graph.iter_neighbors g x (fun u ->
               if Hashtbl.mem inside u then begin
                 Hashtbl.remove inside u;
                 queue.(!tail) <- u;
                 incr tail
               end)
-            (Graph.neighbors g x)
         done;
         comps := Array.sub queue start (!tail - start) :: !comps
       end)
@@ -151,13 +143,12 @@ let dfs_parents g src =
     match !stack with
     | [] -> ()
     | u :: rest ->
-      let adj = Graph.neighbors g u in
-      if next.(u) >= Array.length adj then begin
+      if next.(u) >= Graph.degree g u then begin
         stack := rest;
         step ()
       end
       else begin
-        let v = adj.(next.(u)) in
+        let v = Graph.nth_neighbor g u next.(u) in
         next.(u) <- next.(u) + 1;
         if parent.(v) = -2 then begin
           parent.(v) <- u;

@@ -1,75 +1,143 @@
-(* Simple undirected graphs over vertices [0 .. n-1].
+(* Simple undirected graphs over vertices [0 .. n-1], stored as a flat
+   compressed-sparse-row (CSR) structure:
 
-   Adjacency is stored as immutable-by-convention arrays.  Vertex pairs are
-   encoded into a single int for O(1) membership tests; this bounds n at
-   2^31 on 64-bit platforms, far beyond what the simulator handles. *)
+     row : int array        length n + 1, row.(v) .. row.(v+1) - 1 slice of
+     col : int array        length 2m, neighbour lists, each row SORTED
+
+   Two flat int arrays hold the whole graph — no per-vertex boxes, no edge
+   hash table — so the GC never walks the adjacency, membership is a binary
+   search of a sorted row, and worker domains share the store by capturing
+   the same two arrays (reads are data-race-free; nothing here is mutated
+   after construction).  The former pair-encoded edge index
+   (u * 0x40000000 + v) silently collided once vertex ids crossed 2^30;
+   the CSR row search has no such bound — n is limited only by what the
+   host can allocate (checked explicitly, so oversized requests fail with
+   [Invalid_argument], not a corrupt graph). *)
 
 type t = {
   n : int;
-  adj : int array array;
-  edge_index : (int, unit) Hashtbl.t;
   m : int;
+  row : int array; (* n + 1 offsets into col *)
+  col : int array; (* 2m neighbour entries, ascending within each row *)
 }
 
-let encode u v = if u < v then (u * 0x40000000) + v else (v * 0x40000000) + u
-
 let n t = t.n
-
 let m t = t.m
+let degree t v = t.row.(v + 1) - t.row.(v)
 
-let degree t v = Array.length t.adj.(v)
-
-let neighbors t v = t.adj.(v)
-
-let mem_edge t u v =
-  u <> v && u >= 0 && v >= 0 && u < t.n && v < t.n
-  && Hashtbl.mem t.edge_index (encode u v)
+(* The maximum vertex count we can represent: [row] needs n + 1 boxes. *)
+let max_vertices = Sys.max_array_length - 1
 
 let check_vertex t v =
   if v < 0 || v >= t.n then invalid_arg "Graph: vertex out of range"
 
-let of_edges ~n edges =
-  if n < 0 then invalid_arg "Graph.of_edges: negative n";
-  let edge_index = Hashtbl.create (2 * List.length edges) in
-  let deg = Array.make n 0 in
-  let uniq =
-    List.filter
+(* Binary search of [x] in the sorted row of [v]; index into [col] when
+   present, -1 otherwise.  This replaces the edge hash table. *)
+let find_in_row t v x =
+  let lo = ref t.row.(v) and hi = ref (t.row.(v + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let y = t.col.(mid) in
+    if y = x then found := mid else if y < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let mem_edge t u v =
+  u <> v && u >= 0 && v >= 0 && u < t.n && v < t.n && find_in_row t u v >= 0
+
+(* Rank of neighbour [x] within the sorted row of [v] (-1 when not a
+   neighbour): the alignment primitive for parallel flat structures (the
+   rotation system stores per-dart data at [adj_offset v + rank]). *)
+let neighbor_rank t v x =
+  let i = find_in_row t v x in
+  if i < 0 then -1 else i - t.row.(v)
+
+let adj_offset t v = t.row.(v)
+let nth_neighbor t v i = t.col.(t.row.(v) + i)
+
+let neighbors t v = Array.sub t.col t.row.(v) (degree t v)
+
+let iter_neighbors t v f =
+  for i = t.row.(v) to t.row.(v + 1) - 1 do
+    f t.col.(i)
+  done
+
+let fold_neighbors t v f acc =
+  let acc = ref acc in
+  for i = t.row.(v) to t.row.(v + 1) - 1 do
+    acc := f !acc t.col.(i)
+  done;
+  !acc
+
+(* Build from normalized (u < v), lexicographically sorted, deduplicated
+   edge pairs.  One pass fills every row already sorted: row x first
+   receives its smaller neighbours (from edges (u, x), scanned in ascending
+   u) and then its larger ones (from edges (x, w), ascending w). *)
+let of_sorted_pairs ~n pairs =
+  let m = Array.length pairs in
+  let row = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      row.(u + 1) <- row.(u + 1) + 1;
+      row.(v + 1) <- row.(v + 1) + 1)
+    pairs;
+  for v = 1 to n do
+    row.(v) <- row.(v) + row.(v - 1)
+  done;
+  let col = Array.make (2 * m) 0 in
+  let fill = Array.copy row in
+  Array.iter
+    (fun (u, v) ->
+      col.(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      col.(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    pairs;
+  { n; m; row; col }
+
+let normalize_pairs ~n edges =
+  let pairs =
+    Array.map
       (fun (u, v) ->
         if u < 0 || u >= n || v < 0 || v >= n then
           invalid_arg "Graph.of_edges: vertex out of range";
         if u = v then invalid_arg "Graph.of_edges: self loop";
-        let key = encode u v in
-        if Hashtbl.mem edge_index key then false
-        else begin
-          Hashtbl.add edge_index key ();
-          deg.(u) <- deg.(u) + 1;
-          deg.(v) <- deg.(v) + 1;
-          true
-        end)
+        if u < v then (u, v) else (v, u))
       edges
   in
-  let adj = Array.init n (fun v -> Array.make deg.(v) (-1)) in
-  let fill = Array.make n 0 in
-  List.iter
-    (fun (u, v) ->
-      adj.(u).(fill.(u)) <- v;
-      fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- u;
-      fill.(v) <- fill.(v) + 1)
-    uniq;
-  { n; adj; edge_index; m = List.length uniq }
+  Array.sort
+    (fun (a, b) (c, d) -> if a <> c then compare a c else compare b d)
+    pairs;
+  (* Drop duplicates in place. *)
+  let k = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if i = 0 || p <> pairs.(i - 1) then begin
+        pairs.(!k) <- p;
+        incr k
+      end)
+    pairs;
+  if !k = Array.length pairs then pairs else Array.sub pairs 0 !k
 
-(* Each edge once, into a preallocated array (no list churn).  The order —
-   ascending u, each vertex's adjacency scanned in reverse — matches what
-   the historical list-accumulator produced, so seeded consumers (e.g. the
-   random spanning tree's shuffle) see identical inputs. *)
+let of_edge_array ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  if n > max_vertices then
+    invalid_arg
+      (Printf.sprintf "Graph.of_edges: n = %d exceeds max_vertices = %d" n
+         max_vertices);
+  of_sorted_pairs ~n (normalize_pairs ~n edges)
+
+let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
+
+(* Each edge once, ascending u then ascending v, straight off the CSR scan
+   — the primitive [edges] derives from. *)
 let edge_array t =
   let out = Array.make t.m (0, 0) in
   let i = ref 0 in
   for u = 0 to t.n - 1 do
-    let a = t.adj.(u) in
-    for j = Array.length a - 1 downto 0 do
-      let v = a.(j) in
+    for j = t.row.(u) to t.row.(u + 1) - 1 do
+      let v = t.col.(j) in
       if u < v then begin
         out.(!i) <- (u, v);
         incr i
@@ -82,62 +150,114 @@ let edges t = Array.to_list (edge_array t)
 
 let iter_edges t f =
   for u = 0 to t.n - 1 do
-    Array.iter (fun v -> if u < v then f u v) t.adj.(u)
+    for j = t.row.(u) to t.row.(u + 1) - 1 do
+      let v = t.col.(j) in
+      if u < v then f u v
+    done
   done
 
-(* Subgraph induced by [keep]; [`Map (old -> new)] positions are compacted.
-   Returns the subgraph together with old->new and new->old vertex maps. *)
-let induced t keep =
-  let new_of_old = Array.make t.n (-1) in
-  let count = ref 0 in
-  for v = 0 to t.n - 1 do
-    if keep.(v) then begin
-      new_of_old.(v) <- !count;
-      incr count
-    end
+(* ------------------------------------------------------------------ *)
+(* Induced subgraphs.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Reusable build buffer for the part-parallel hot path: one scratch per
+   worker domain amortizes every per-part O(n) allocation away.  Ownership
+   rule (see DESIGN.md): the old->new map returned by a scratch-backed
+   [induced_members] call IS the scratch's buffer — valid until the next
+   call on the same scratch, and the caller must not mutate it.  Each call
+   un-marks the previous call's members, so only O(part) entries are ever
+   touched. *)
+module Scratch = struct
+  type nonrec t = {
+    mutable new_of_old : int array; (* -1 outside the current part *)
+    mutable prev : int array; (* members currently marked *)
+  }
+
+  let create () = { new_of_old = [||]; prev = [||] }
+end
+
+(* Core induced build over a member array already sorted ascending (so new
+   ids are assigned in increasing old id, matching the historical keep-scan
+   compaction).  [new_of_old] must be -1 at every non-member on entry; it is
+   left -1 there and set at members on exit (caller restores if pooled). *)
+let induced_sorted t ~new_of_old ~members ~k =
+  let old_of_new = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let v = members.(i) in
+    new_of_old.(v) <- i;
+    old_of_new.(i) <- v
   done;
-  let old_of_new = Array.make !count (-1) in
-  for v = 0 to t.n - 1 do
-    if keep.(v) then old_of_new.(new_of_old.(v)) <- v
+  let row = Array.make (k + 1) 0 in
+  for i = 0 to k - 1 do
+    let v = members.(i) in
+    let d = ref 0 in
+    for j = t.row.(v) to t.row.(v + 1) - 1 do
+      if new_of_old.(t.col.(j)) >= 0 then incr d
+    done;
+    row.(i + 1) <- !d
   done;
-  (* Scan only the kept vertices' adjacency, not the whole edge set, so a
-     batch of small induced subgraphs stays near-linear overall.  The
-     adjacency arrays are built directly — no intermediate edge list and no
-     [of_edges] rebuild; the fill order reproduces the historical one
-     (descending u, reversed adjacency) bit for bit. *)
-  let k = !count in
-  let deg = Array.make k 0 in
-  let m = ref 0 in
-  Array.iter
-    (fun u ->
-      Array.iter
-        (fun v ->
-          if u < v && keep.(v) then begin
-            deg.(new_of_old.(u)) <- deg.(new_of_old.(u)) + 1;
-            deg.(new_of_old.(v)) <- deg.(new_of_old.(v)) + 1;
-            incr m
-          end)
-        t.adj.(u))
-    old_of_new;
-  let edge_index = Hashtbl.create (2 * !m) in
-  let adj = Array.init k (fun v -> Array.make deg.(v) (-1)) in
-  let fill = Array.make k 0 in
-  for i = k - 1 downto 0 do
-    let u = old_of_new.(i) in
-    let nbrs = t.adj.(u) in
-    for j = Array.length nbrs - 1 downto 0 do
-      let v = nbrs.(j) in
-      if u < v && keep.(v) then begin
-        let nu = new_of_old.(u) and nv = new_of_old.(v) in
-        Hashtbl.add edge_index (encode nu nv) ();
-        adj.(nu).(fill.(nu)) <- nv;
-        fill.(nu) <- fill.(nu) + 1;
-        adj.(nv).(fill.(nv)) <- nu;
-        fill.(nv) <- fill.(nv) + 1
+  for i = 1 to k do
+    row.(i) <- row.(i) + row.(i - 1)
+  done;
+  let col = Array.make row.(k) 0 in
+  let fill = ref 0 in
+  for i = 0 to k - 1 do
+    let v = members.(i) in
+    (* The old row is sorted and old->new is monotone over members, so each
+       new row comes out sorted without any per-row sort. *)
+    for j = t.row.(v) to t.row.(v + 1) - 1 do
+      let nu = new_of_old.(t.col.(j)) in
+      if nu >= 0 then begin
+        col.(!fill) <- nu;
+        incr fill
       end
     done
   done;
-  ({ n = k; adj; edge_index; m = !m }, new_of_old, old_of_new)
+  ({ n = k; m = row.(k) / 2; row; col }, old_of_new)
 
-let pp fmt t =
-  Fmt.pf fmt "graph(n=%d, m=%d)" t.n t.m
+(* Subgraph induced by a member array (distinct vertices, any order).
+   Returns the subgraph plus old->new (-1 when dropped) and new->old maps.
+   New ids are assigned in increasing old id, so the numbering matches the
+   keep-array interface below.  With [?scratch] the call allocates nothing
+   proportional to [Graph.n t]: the returned old->new map aliases the
+   scratch buffer (ownership rule above). *)
+let induced_members ?scratch t members =
+  let k = Array.length members in
+  let sorted = Array.copy members in
+  Array.sort compare sorted;
+  let new_of_old =
+    match scratch with
+    | None -> Array.make t.n (-1)
+    | Some s ->
+      if Array.length s.Scratch.new_of_old < t.n then
+        s.Scratch.new_of_old <-
+          Array.make (max t.n (2 * Array.length s.Scratch.new_of_old)) (-1)
+      else
+        (* Un-mark the previous occupant to restore the all-(-1) state. *)
+        Array.iter (fun v -> s.Scratch.new_of_old.(v) <- -1) s.Scratch.prev;
+      s.Scratch.prev <- sorted;
+      s.Scratch.new_of_old
+  in
+  let g_sub, old_of_new = induced_sorted t ~new_of_old ~members:sorted ~k in
+  (g_sub, new_of_old, old_of_new)
+
+(* Subgraph induced by [keep] (classic keep-array interface; scans all of
+   [0 .. n-1]).  Cold callers only — the hot path is [induced_members]. *)
+let induced t keep =
+  let count = ref 0 in
+  for v = 0 to t.n - 1 do
+    if keep.(v) then incr count
+  done;
+  let members = Array.make !count 0 in
+  let i = ref 0 in
+  for v = 0 to t.n - 1 do
+    if keep.(v) then begin
+      members.(!i) <- v;
+      incr i
+    end
+  done;
+  let new_of_old = Array.make t.n (-1) in
+  let g_sub, old_of_new = induced_sorted t ~new_of_old ~members ~k:!count in
+  (g_sub, new_of_old, old_of_new)
+
+let pp fmt t = Fmt.pf fmt "graph(n=%d, m=%d)" t.n t.m

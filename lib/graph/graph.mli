@@ -1,9 +1,22 @@
-(** Undirected simple graphs over vertices [0 .. n-1]. *)
+(** Undirected simple graphs over vertices [0 .. n-1].
+
+    Stored as flat compressed-sparse-row (CSR) int arrays with each
+    adjacency row sorted ascending: membership is a binary search, the GC
+    never walks the adjacency, and worker domains share the structure
+    read-only without copying.  Nothing is mutated after construction. *)
 
 type t
 
 val of_edges : n:int -> (int * int) list -> t
 (** Build a graph; duplicate edges are dropped, self loops rejected. *)
+
+val of_edge_array : n:int -> (int * int) array -> t
+(** Same as {!of_edges} without the intermediate list. *)
+
+val max_vertices : int
+(** Largest representable [n]; {!of_edges} raises [Invalid_argument]
+    beyond it instead of corrupting (the pre-CSR edge index silently
+    collided past [2^30]). *)
 
 val n : t -> int
 (** Number of vertices. *)
@@ -14,23 +27,63 @@ val m : t -> int
 val degree : t -> int -> int
 
 val neighbors : t -> int -> int array
-(** Adjacency array of a vertex (do not mutate). *)
+(** Neighbours of a vertex, ascending.  Allocates a fresh array — cold
+    callers only; hot paths use {!iter_neighbors} or {!nth_neighbor}. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Apply to each neighbour in ascending order, without allocating. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val nth_neighbor : t -> int -> int -> int
+(** [nth_neighbor g v i] is the [i]-th smallest neighbour of [v]
+    (unchecked: [0 <= i < degree g v]). *)
+
+val adj_offset : t -> int -> int
+(** Global CSR offset of the row of [v]: [adj_offset g v + i] is a unique
+    dart id for the [i]-th neighbour slot, letting parallel flat
+    structures (rotation orders, per-dart marks) align with the store. *)
+
+val neighbor_rank : t -> int -> int -> int
+(** [neighbor_rank g v u] is the index of [u] in the sorted row of [v],
+    or [-1] when [(v, u)] is not an edge. *)
 
 val mem_edge : t -> int -> int -> bool
 
 val check_vertex : t -> int -> unit
 (** Raises [Invalid_argument] if the vertex is out of range. *)
 
-val edges : t -> (int * int) list
-(** Each edge once, as [(u, v)] with [u < v]. *)
-
 val edge_array : t -> (int * int) array
-(** Same edges as [edges], in the same order, without the list. *)
+(** Each edge once as [(u, v)] with [u < v], ascending [u] then [v] —
+    the primitive, read straight off the CSR scan. *)
+
+val edges : t -> (int * int) list
+(** [Array.to_list (edge_array t)]. *)
 
 val iter_edges : t -> (int -> int -> unit) -> unit
 
+(** Reusable buffers for {!induced_members}.  One scratch per worker
+    domain amortizes the per-part O(n) map allocation across a whole
+    batch.  A scratch must never be shared between concurrent callers. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+end
+
 val induced : t -> bool array -> t * int array * int array
-(** [induced g keep] is the subgraph induced by the marked vertices, plus the
-    old-to-new (-1 when dropped) and new-to-old vertex maps. *)
+(** [induced g keep] is the subgraph induced by the marked vertices, plus
+    the old-to-new (-1 when dropped) and new-to-old vertex maps.  New ids
+    follow increasing old id.  Scans all of [0 .. n-1]; hot callers with
+    an explicit member set use {!induced_members}. *)
+
+val induced_members : ?scratch:Scratch.t -> t -> int array -> t * int array * int array
+(** [induced_members g members] is {!induced} driven by an explicit array
+    of distinct member vertices (any order; same numbering as the
+    keep-array form).  Touches only O(members + incident edges) — nothing
+    proportional to [n g] — when given a [scratch].  Ownership rule: with
+    [?scratch], the returned old-to-new map {e aliases the scratch
+    buffer}; it is valid until the next call on the same scratch and must
+    not be mutated. *)
 
 val pp : Format.formatter -> t -> unit

@@ -109,6 +109,144 @@ let tree_depth tree =
 let take k xs = List.filteri (fun i _ -> i < k) xs
 
 (* ------------------------------------------------------------------ *)
+(* 0. "graph": the flat CSR store = a retained reference adjacency-list *)
+(*    build (the pre-CSR representation), plus the induced-subgraph map  *)
+(*    contracts every hot path relies on.                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_graph (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let g = Config.graph inst.config in
+  let n = Graph.n g in
+  let rng = Rng.create ((2 * inst.spec.Instance.seed) + 9) in
+  let edge_list = Graph.edges g in
+  (* Reference build: hash-table membership + per-vertex list adjacency,
+     exactly the shape the pre-CSR core used. *)
+  let ref_mem = Hashtbl.create (4 * Graph.m g) in
+  let ref_adj = Array.make (max 1 n) [] in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace ref_mem (min u v, max u v) ();
+      ref_adj.(u) <- v :: ref_adj.(u);
+      ref_adj.(v) <- u :: ref_adj.(v))
+    edge_list;
+  let ref_sorted = Array.map (List.sort_uniq compare) ref_adj in
+  (* n / m / degree / neighbour rows (contents AND order: rows are sorted
+     ascending by construction). *)
+  ck ctx "m = |edges|" (Graph.m g = List.length edge_list);
+  ck ctx "sum of degrees = 2m"
+    (let s = ref 0 in
+     for v = 0 to n - 1 do
+       s := !s + Graph.degree g v
+     done;
+     !s = 2 * Graph.m g);
+  let rows_ok = ref true and iter_ok = ref true in
+  for v = 0 to n - 1 do
+    let row = Graph.neighbors g v in
+    if Array.to_list row <> ref_sorted.(v) then rows_ok := false;
+    let seen = ref [] in
+    Graph.iter_neighbors g v (fun u -> seen := u :: !seen);
+    if List.rev !seen <> Array.to_list row then iter_ok := false;
+    Array.iteri (fun i u -> if Graph.nth_neighbor g v i <> u then iter_ok := false) row
+  done;
+  ck ctx "neighbour rows = reference sets, ascending" !rows_ok;
+  ck ctx "iter_neighbors/nth_neighbor = neighbors" !iter_ok;
+  (* Membership: every reference edge present (both directions), sampled
+     non-edges absent. *)
+  ck ctx "mem_edge covers reference edges"
+    (List.for_all (fun (u, v) -> Graph.mem_edge g u v && Graph.mem_edge g v u) edge_list);
+  let neg_ok = ref true in
+  for _ = 1 to 32 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let reference = u <> v && Hashtbl.mem ref_mem (min u v, max u v) in
+    if Graph.mem_edge g u v <> reference then neg_ok := false
+  done;
+  ck ctx "mem_edge = reference membership on random pairs" !neg_ok;
+  (* edge_array is the primitive: u < v, lexicographically ascending, and
+     [edges] derives from it unchanged. *)
+  let ea = Graph.edge_array g in
+  ck ctx "edges = Array.to_list edge_array" (edge_list = Array.to_list ea);
+  ck ctx "edge_array normalized ascending"
+    (let ok = ref true in
+     Array.iteri
+       (fun i (u, v) ->
+         if u >= v then ok := false;
+         if i > 0 && ea.(i - 1) >= (u, v) then ok := false)
+       ea;
+     !ok);
+  (* Construction round-trip: flipped orientations and duplicates must
+     normalize to the identical structure. *)
+  let noisy =
+    List.concat_map (fun (u, v) -> [ (v, u); (u, v) ]) edge_list
+  in
+  let g2 = Graph.of_edges ~n noisy in
+  ck ctx "of_edges normalizes duplicates/orientation"
+    (Graph.m g2 = Graph.m g
+    && (let same = ref true in
+        for v = 0 to n - 1 do
+          if Graph.neighbors g2 v <> Graph.neighbors g v then same := false
+        done;
+        !same));
+  (* Induced subgraphs: keep-array and member-array forms agree with each
+     other and with a naive reference, and the scratch-backed form resets
+     correctly across reuse. *)
+  let scratch = Graph.Scratch.create () in
+  let check_induced tag members =
+    let keep = Array.make n false in
+    Array.iter (fun v -> keep.(v) <- true) members;
+    let sub_k, old2new_k, new2old_k = Graph.induced g keep in
+    let sub_m, old2new_m, new2old_m = Graph.induced_members ~scratch g members in
+    ck ctx (tag ^ ": members = keep (new->old map)") (new2old_m = new2old_k);
+    ck ctx (tag ^ ": members = keep (old->new map)")
+      (Array.for_all
+         (fun v -> old2new_m.(v) = old2new_k.(v))
+         (Array.init n Fun.id));
+    ck ctx (tag ^ ": members = keep (graph)")
+      (Graph.n sub_m = Graph.n sub_k
+      && Graph.m sub_m = Graph.m sub_k
+      && (let same = ref true in
+          for v = 0 to Graph.n sub_k - 1 do
+            if Graph.neighbors sub_m v <> Graph.neighbors sub_k v then
+              same := false
+          done;
+          !same));
+    (* New ids follow increasing old id; maps are mutual inverses. *)
+    ck ctx (tag ^ ": new ids ascend in old id")
+      (let ok = ref true in
+       Array.iteri (fun i v -> if i > 0 && new2old_k.(i - 1) >= v then ok := false)
+         new2old_k;
+       !ok);
+    ck ctx (tag ^ ": maps inverse")
+      (Array.for_all (fun i -> old2new_k.(new2old_k.(i)) = i)
+         (Array.init (Graph.n sub_k) Fun.id));
+    (* Sub-edges = reference edges with both endpoints kept. *)
+    let expect =
+      List.filter (fun (u, v) -> keep.(u) && keep.(v)) edge_list
+      |> List.map (fun (u, v) ->
+             let a = old2new_k.(u) and b = old2new_k.(v) in
+             (min a b, max a b))
+      |> List.sort compare
+    in
+    ck ctx (tag ^ ": sub-edges = filtered reference edges")
+      (List.sort compare (Graph.edges sub_k) = expect)
+  in
+  if n > 0 then begin
+    let subset bound =
+      let marks = Array.init n (fun _ -> Rng.int rng bound = 0) in
+      let members = ref [] in
+      Array.iteri (fun v m -> if m then members := v :: !members) marks;
+      Array.of_list !members
+    in
+    let m1 = subset 2 in
+    if Array.length m1 > 0 then check_induced "induced#1" m1;
+    (* Reusing the same scratch on a different member set exercises the
+       un-mark pass between calls. *)
+    let m2 = subset 3 in
+    if Array.length m2 > 0 then check_induced "induced#2 (scratch reuse)" m2
+  end;
+  finish ~name:"graph" ctx
+
+(* ------------------------------------------------------------------ *)
 (* 1. "engine": event-driven scheduler = dense reference scheduler      *)
 (*    (bit-identical outputs AND statistics on every program).          *)
 (* ------------------------------------------------------------------ *)
@@ -752,6 +890,11 @@ let sabotage ~threshold =
 let () =
   List.iter register
     [
+      {
+        name = "graph";
+        guards = "flat CSR store (vs reference adjacency-list build)";
+        run = run_graph;
+      };
       {
         name = "engine";
         guards = "engine equivalence (event-driven = dense scheduler)";

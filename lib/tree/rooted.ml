@@ -6,7 +6,11 @@
    counterclockwise order (greatest rotation position first); the
    RIGHT-DFS-ORDER visits them clockwise.  Both orders are computed here
    centrally; the CONGEST round cost of the distributed computation
-   (Lemma 11) is charged by [Repro_congest.Rounds]. *)
+   (Lemma 11) is charged by [Repro_congest.Rounds].
+
+   Children are stored flat: the clockwise child list of [v] occupies
+   [ch_off.(v) .. ch_off.(v + 1) - 1] of [ch] — the same CSR idiom as the
+   graph, so a tree adds two int arrays instead of n boxed rows. *)
 
 open Repro_embedding
 
@@ -14,7 +18,8 @@ type t = {
   root : int;
   parent : int array; (* -1 at the root *)
   depth : int array;
-  children : int array array; (* clockwise order, parent edge first *)
+  ch_off : int array; (* n + 1 offsets into ch *)
+  ch : int array; (* n - 1 children, clockwise, parent edge first *)
   size : int array; (* n_T(v): nodes in the subtree rooted at v *)
   pi_left : int array; (* LEFT-DFS-ORDER position, 0-based *)
   pi_right : int array; (* RIGHT-DFS-ORDER position, 0-based *)
@@ -27,14 +32,28 @@ let n t = Array.length t.parent
 let root t = t.root
 let parent t v = t.parent.(v)
 let depth t v = t.depth.(v)
-let children t v = t.children.(v)
+let children_count t v = t.ch_off.(v + 1) - t.ch_off.(v)
+let child t v i = t.ch.(t.ch_off.(v) + i)
+let children t v = Array.sub t.ch t.ch_off.(v) (children_count t v)
+
+let iter_children t v f =
+  for i = t.ch_off.(v) to t.ch_off.(v + 1) - 1 do
+    f t.ch.(i)
+  done
+
+let fold_children t v f acc =
+  let acc = ref acc in
+  for i = t.ch_off.(v) to t.ch_off.(v + 1) - 1 do
+    acc := f !acc t.ch.(i)
+  done;
+  !acc
+
 let size t v = t.size.(v)
 let pi_left t v = t.pi_left.(v)
 let pi_right t v = t.pi_right.(v)
 let node_at_left t i = t.left_at.(i)
 let node_at_right t i = t.right_at.(i)
-
-let is_leaf t v = Array.length t.children.(v) = 0
+let is_leaf t v = children_count t v = 0
 
 (* DFS-interval ancestor test: u is an ancestor of v (reflexively). *)
 let is_ancestor t ~anc ~desc =
@@ -49,23 +68,37 @@ let build ?root_first ~rot ~root parent =
   if parent.(root) <> -1 then invalid_arg "Rooted.build: root must have parent -1";
   (* Children of v in clockwise rotation order, starting right after the
      parent edge.  For the root the virtual parent direction is given by
-     [root_first]: the child listed first. *)
-  let children =
-    Array.init n (fun v ->
-        let nbrs =
-          if v = root then begin
-            match root_first with
-            | Some f -> Rotation.order_from rot v ~first:f
-            | None -> Rotation.order rot v
-          end
-          else Rotation.order_from rot v ~first:parent.(v)
-        in
-        (* Keep only tree children (neighbours whose parent is v), in
-           rotation order; drop the leading parent edge if present. *)
-        let kept = Array.to_list nbrs in
-        let kept = List.filter (fun u -> u <> parent.(v) && parent.(u) = v) kept in
-        Array.of_list kept)
-  in
+     [root_first]: the child listed first.  Counted from the parent array
+     (O(n)), then filled by walking each rotation once (O(m) total). *)
+  let ch_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    if parent.(v) >= 0 then ch_off.(parent.(v) + 1) <- ch_off.(parent.(v) + 1) + 1
+  done;
+  for v = 1 to n do
+    ch_off.(v) <- ch_off.(v) + ch_off.(v - 1)
+  done;
+  let ch = Array.make (max 1 ch_off.(n)) (-1) in
+  let fill = Array.copy ch_off in
+  for v = 0 to n - 1 do
+    if ch_off.(v + 1) > ch_off.(v) then begin
+      let d = Rotation.degree rot v in
+      let start =
+        if v = root then begin
+          match root_first with
+          | Some f -> Rotation.position rot v f
+          | None -> 0
+        end
+        else Rotation.position rot v parent.(v)
+      in
+      for k = 0 to d - 1 do
+        let u = Rotation.nth rot v ((start + k) mod d) in
+        if u <> parent.(v) && parent.(u) = v then begin
+          ch.(fill.(v)) <- u;
+          fill.(v) <- fill.(v) + 1
+        end
+      done
+    end
+  done;
   let depth = Array.make n (-1) in
   let size = Array.make n 1 in
   let pi_left = Array.make n (-1) in
@@ -85,17 +118,19 @@ let build ?root_first ~rot ~root parent =
     let v = stack.(!sp) in
     order.(!top) <- v;
     incr top;
-    Array.iter
-      (fun c ->
-        depth.(c) <- depth.(v) + 1;
-        stack.(!sp) <- c;
-        incr sp)
-      children.(v)
+    for i = ch_off.(v) to ch_off.(v + 1) - 1 do
+      let c = ch.(i) in
+      depth.(c) <- depth.(v) + 1;
+      stack.(!sp) <- c;
+      incr sp
+    done
   done;
   if !top <> n then invalid_arg "Rooted.build: parent array is not a tree";
   for i = n - 1 downto 0 do
     let v = order.(i) in
-    Array.iter (fun c -> size.(v) <- size.(v) + size.(c)) children.(v)
+    for j = ch_off.(v) to ch_off.(v + 1) - 1 do
+      size.(v) <- size.(v) + size.(ch.(j))
+    done
   done;
   let assign_order pi ~leftmost_first =
     let clock = ref 0 in
@@ -106,17 +141,16 @@ let build ?root_first ~rot ~root parent =
       let v = stack.(!sp) in
       pi.(v) <- !clock;
       incr clock;
-      let cs = children.(v) in
-      let k = Array.length cs in
+      let lo = ch_off.(v) and hi = ch_off.(v + 1) - 1 in
       (* Stack is LIFO: push the child to visit *last* first. *)
       if leftmost_first then
-        for i = 0 to k - 1 do
-          stack.(!sp) <- cs.(i);
+        for i = lo to hi do
+          stack.(!sp) <- ch.(i);
           incr sp
         done
       else
-        for i = k - 1 downto 0 do
-          stack.(!sp) <- cs.(i);
+        for i = hi downto lo do
+          stack.(!sp) <- ch.(i);
           incr sp
         done
     done
@@ -148,7 +182,8 @@ let build ?root_first ~rot ~root parent =
     root;
     parent = Array.copy parent;
     depth;
-    children;
+    ch_off;
+    ch;
     size;
     pi_left;
     pi_right;
@@ -202,9 +237,7 @@ let centroid t =
   let continue_ = ref true in
   while !continue_ do
     let heavy = ref (-1) in
-    Array.iter
-      (fun c -> if t.size.(c) > total / 2 then heavy := c)
-      t.children.(!v);
+    iter_children t !v (fun c -> if t.size.(c) > total / 2 then heavy := c);
     if !heavy >= 0 then v := !heavy else continue_ := false
   done;
   !v

@@ -33,9 +33,17 @@ type t = {
 
 let no_work (_ : int) = ()
 
-let default_jobs () = min 8 (max 1 (Domain.recommended_domain_count ()))
+(* One worker per hardware thread.  Tasks read the graph/rotation store
+   through shared flat int arrays (nothing is copied per domain and the GC
+   never scans them), so extra workers no longer carry a per-domain data
+   cost and there is no reason to cap below the machine. *)
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let default_seq_grain = 16_384
+(* Batches whose estimated cost (total nodes, see [runs_parallel]) falls
+   below this run on the submitting domain.  With the flat CSR store a
+   part's build cost is O(part) rather than O(global n), which moves the
+   parallel break-even point well below the pre-CSR 16k tuning. *)
+let default_seq_grain = 8_192
 
 (* Claim-and-run loop shared by workers and the submitting domain.  After a
    task fails, the rest of the batch is drained without running (claims are

@@ -32,12 +32,15 @@ val seq_grain : t -> int
 (** The sequential-fallback threshold the pool was created with. *)
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()], capped at 8. *)
+(** [Domain.recommended_domain_count ()]: one worker per hardware thread.
+    Workers read the flat graph store in place (shared, read-only), so
+    extra domains carry no per-domain data cost. *)
 
 val default_seq_grain : int
-(** The default [seq_grain]: 16384 work units.  With the convention that a
+(** The default [seq_grain]: 8192 work units.  With the convention that a
     unit is one graph node of batch work, this is roughly the point where
-    domain wake-up and cache traffic are amortised. *)
+    domain wake-up and cache traffic are amortised now that per-part build
+    cost is O(part) on the flat store. *)
 
 val runs_parallel : ?cost:int -> t -> int -> bool
 (** [runs_parallel ?cost t len] is the exact predicate [map] uses to decide

@@ -55,6 +55,44 @@ let test_induced () =
   Alcotest.(check int) "map drop" (-1) old2new.(1);
   Alcotest.(check int) "roundtrip" 2 old2new.(new2old.(2))
 
+let test_induced_members_scratch () =
+  let g = random_connected ~seed:42 ~n:40 ~extra:30 in
+  let scratch = Graph.Scratch.create () in
+  let check members =
+    let keep = Array.make 40 false in
+    Array.iter (fun v -> keep.(v) <- true) members;
+    let sub_k, old2new_k, new2old_k = Graph.induced g keep in
+    let sub_m, old2new_m, new2old_m = Graph.induced_members ~scratch g members in
+    Alcotest.(check (array int)) "new->old = keep build" new2old_k new2old_m;
+    for v = 0 to 39 do
+      Alcotest.(check int) "old->new = keep build" old2new_k.(v) old2new_m.(v)
+    done;
+    Alcotest.(check int) "sub m" (Graph.m sub_k) (Graph.m sub_m);
+    for v = 0 to Graph.n sub_k - 1 do
+      Alcotest.(check (array int)) "sub row"
+        (Graph.neighbors sub_k v) (Graph.neighbors sub_m v)
+    done
+  in
+  (* Two calls on overlapping member sets through ONE scratch: the second
+     must see a clean map (the un-mark pass between calls). *)
+  check [| 3; 1; 7; 12; 30; 21; 9 |];
+  check [| 5; 7; 2; 21; 33; 14 |]
+
+(* The pre-CSR edge index encoded a pair as u * 2^30 + v, so vertex ids
+   past 2^30 silently collided: encode 1 5 = encode 0 (2^30 + 5).  The CSR
+   core must either accept such graphs without collision or reject them
+   with [Invalid_argument] (small hosts run out of memory allocating the
+   row array — also a graceful outcome). *)
+let test_large_n_no_collision () =
+  let n = (1 lsl 30) + 8 in
+  match Graph.of_edges ~n [ (1, 5) ] with
+  | g ->
+    Alcotest.(check bool) "edge present" true (Graph.mem_edge g 1 5);
+    Alcotest.(check bool) "no 2^30 collision" false
+      (Graph.mem_edge g 0 ((1 lsl 30) + 5));
+    Alcotest.(check int) "m" 1 (Graph.m g)
+  | exception (Invalid_argument _ | Out_of_memory) -> ()
+
 let test_bfs_dist () =
   let d = Algo.bfs_dist path5 0 in
   Alcotest.(check (array int)) "dists" [| 0; 1; 2; 3; 4 |] d
@@ -136,6 +174,10 @@ let suites =
         Alcotest.test_case "mem_edge" `Quick test_mem_edge;
         Alcotest.test_case "edges list" `Quick test_edges_list;
         Alcotest.test_case "induced" `Quick test_induced;
+        Alcotest.test_case "induced_members scratch reuse" `Quick
+          test_induced_members_scratch;
+        Alcotest.test_case "n > 2^30 rejected or collision-free" `Slow
+          test_large_n_no_collision;
         Alcotest.test_case "bfs dist" `Quick test_bfs_dist;
         Alcotest.test_case "bfs parents" `Quick test_bfs_parents_tree;
         Alcotest.test_case "components" `Quick test_components;

@@ -71,8 +71,8 @@ let test_registry_names () =
   Alcotest.(check (list string))
     "built-ins in registration order"
     [
-      "engine"; "orders"; "collective"; "faces"; "pipeline"; "separator";
-      "join"; "dfs"; "forest"; "pool";
+      "graph"; "engine"; "orders"; "collective"; "faces"; "pipeline";
+      "separator"; "join"; "dfs"; "forest"; "pool";
     ]
     (Oracle.names ());
   List.iter
@@ -371,6 +371,8 @@ let suites =
         test_sabotage_caught_shrunk_replayed;
       Alcotest.test_case "shrink reaches the family floor" `Quick
         test_shrink_is_minimal_on_sabotage;
+      Suite.property ~count:25 ~max_size:64 ~seed:404 ~oracles:[ "graph" ]
+        "flat CSR store = reference adjacency-list build";
       Suite.property ~count:25 ~max_size:56 ~seed:401 ~oracles:[ "separator" ]
         "Theorem 1: valid balanced separators, Õ(D) charged rounds";
       Suite.property ~count:25 ~max_size:56 ~seed:402 ~oracles:[ "dfs" ]

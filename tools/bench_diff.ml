@@ -10,6 +10,9 @@
      construction, so any difference is a real behavioral change;
    - "wall_seconds" may regress by at most the tolerance (default +30%).
      Baselines under 1s are skipped: timer noise dominates there.
+   - "peak_rss_kb" may regress by at most the same tolerance.  Baselines
+     under 50 MB are skipped: allocator granularity and runtime fixed
+     costs dominate small experiments.
 
    Besides the pass/fail verdict, every shared metrics instance gets a
    per-span delta table: self-attributed charged rounds aggregated by span
@@ -63,6 +66,17 @@ let wall e =
 (* The minimum wall time (s) for the baseline before the tolerance check
    applies at all: under this, scheduler noise swamps the signal. *)
 let wall_noise_floor = 1.0
+
+let peak_rss_kb e =
+  match Json.member "peak_rss_kb" e with
+  | Some (Json.Int i) -> Some i
+  | Some (Json.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+(* The minimum baseline high-water mark (kB) before the RSS check applies:
+   below this, the runtime's fixed allocations dominate the experiment's
+   own working set. *)
+let rss_noise_floor_kb = 50_000
 
 (* ------------------------------------------------------------------ *)
 (* Per-span delta table.                                               *)
@@ -189,6 +203,20 @@ let () =
         | Some bw, Some cw ->
           Printf.printf "  %-6s wall %.2fs vs baseline %.2fs (baseline < %.0fs, not gated)\n"
             name cw bw wall_noise_floor
+        | _ -> ());
+        (* Peak RSS: tolerance, above the noise floor. *)
+        (match (peak_rss_kb base, peak_rss_kb cur) with
+        | Some br, Some cr when br >= rss_noise_floor_kb ->
+          if float_of_int cr > float_of_int br *. (1.0 +. !tol) then
+            failf "! %s: peak RSS %d kB exceeds baseline %d kB by more than %+.0f%%\n"
+              name cr br (100.0 *. !tol)
+          else
+            Printf.printf "  %-6s peak RSS %d kB vs baseline %d kB (within %+.0f%%)\n"
+              name cr br (100.0 *. !tol)
+        | Some br, Some cr ->
+          Printf.printf
+            "  %-6s peak RSS %d kB vs baseline %d kB (baseline < %d kB, not gated)\n"
+            name cr br rss_noise_floor_kb
         | _ -> ()))
     current;
   if !compared = 0 then begin
