@@ -1,4 +1,4 @@
-(* Benchmark harness: regenerates every experiment table (E1..E16) and figure
+(* Benchmark harness: regenerates every experiment table (E1..E17) and figure
    series (F1..F3) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
    micro-benchmarks of the core routines.
 
@@ -21,7 +21,7 @@ let section title = pf "\n######## %s ########\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable recording: every table printed by an experiment is  *)
-(* also captured, and the whole run is dumped to BENCH_5.json.          *)
+(* also captured, and the whole run is dumped to BENCH_6.json.          *)
 (* ------------------------------------------------------------------ *)
 
 (* Peak resident set size of this process, from the kernel's high-water
@@ -1454,6 +1454,164 @@ let e16 ~short () =
   pf " experiment, so same-n rows share the largest run's mark)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E17: backend crossover — separator quality vs charged rounds vs      *)
+(* centralized wall, and the small-part fast path end to end.           *)
+(* ------------------------------------------------------------------ *)
+
+let e17_backends = [ "congest"; "lt-level"; "hn-cycle" ]
+
+let e17 ~jobs ~short () =
+  section "E17  Backend crossover (quality / rounds / wall, fast-path speedup)";
+  Backends.ensure ();
+  pf "expected: congest pays Õ(D) charged rounds for near-cycle separators;\n";
+  pf " centralized backends pay O(part) collect but win wall-clock on small\n";
+  pf " parts — the cutoff dispatch converts that into an end-to-end win\n";
+  (* Part 1: per-backend separator quality.  All columns except wall are
+     deterministic; the side-100 instances are recorded as an exact metrics
+     document for the bench-diff gate (present in --short and full runs). *)
+  let t1 =
+    Table.create ~title:"E17a  separator quality per backend"
+      [
+        "family"; "n"; "backend"; "|S|"; "trimmed"; "trim/sqrt(n)";
+        "charged rounds"; "wall (ms)"; "phase";
+      ]
+  in
+  Table.set_align t1 0 Table.Left;
+  Table.set_align t1 2 Table.Left;
+  Table.set_align t1 8 Table.Left;
+  let sides = if short then [ 100 ] else [ 100; 316 ] in
+  let quality_metrics = ref [] in
+  List.iter
+    (fun side ->
+      List.iter
+        (fun (family, emb) ->
+          let g = Embedded.graph emb in
+          let n = Graph.n g in
+          let d = Algo.diameter g in
+          let cfg = Config.of_embedded emb in
+          let rows =
+            List.map
+              (fun bname ->
+                let b = Backend.lookup bname in
+                let ledger = Rounds.create ~n ~d:(max 1 d) () in
+                let t0 = Unix.gettimeofday () in
+                let r = b.Backend.find ~rounds:ledger cfg in
+                let wall = Unix.gettimeofday () -. t0 in
+                let trimmed = b.Backend.trim cfg r.Separator.separator in
+                let size = List.length r.Separator.separator in
+                let tsize = List.length trimmed in
+                Table.add_row t1
+                  [
+                    family;
+                    Table.fmt_int n;
+                    bname;
+                    Table.fmt_int size;
+                    Table.fmt_int tsize;
+                    Table.fmt_float ~digits:2
+                      (float_of_int tsize /. sqrt (float_of_int n));
+                    Printf.sprintf "%.0f" (Rounds.total ledger);
+                    Table.fmt_float ~digits:1 (wall *. 1000.0);
+                    r.Separator.phase;
+                  ];
+                ( bname,
+                  Repro_trace.Json.Obj
+                    [
+                      ("size", Repro_trace.Json.Int size);
+                      ("trimmed", Repro_trace.Json.Int tsize);
+                      ( "charged_rounds",
+                        Repro_trace.Json.Int
+                          (int_of_float (Rounds.total ledger)) );
+                      ("phase", Repro_trace.Json.String r.Separator.phase);
+                    ] ))
+              e17_backends
+          in
+          if side = 100 then
+            quality_metrics :=
+              (Printf.sprintf "%s-%d" family n, Repro_trace.Json.Obj rows)
+              :: !quality_metrics)
+        [
+          ("grid", Gen.grid ~rows:side ~cols:side);
+          ("tgrid", Gen.grid_diag ~seed:3 ~rows:side ~cols:side ());
+          ("stacked", Gen.stacked_triangulation ~seed:3 ~n:(side * side) ());
+        ])
+    sides;
+  output t1;
+  record_metrics "quality"
+    (Repro_trace.Json.Obj (List.rev !quality_metrics));
+  (* Part 2: the small-part fast path end to end.  Median-of-3 walls; the
+     charged ledger and the decomposition itself are deterministic, so only
+     wall-clock varies between runs. *)
+  let t2 =
+    Table.create ~title:"E17b  Decomposition.build with centralized fast path"
+      [
+        "family"; "n"; "cutoff"; "pieces"; "levels"; "sep nodes";
+        "charged rounds"; "wall (s)"; "speedup";
+      ]
+  in
+  Table.set_align t2 0 Table.Left;
+  List.iter
+    (fun side ->
+      List.iter
+        (fun (family, emb) ->
+          let g = Embedded.graph emb in
+          let n = Graph.n g in
+          let d = Algo.diameter g in
+          let build cutoff trace =
+            let tracer =
+              if trace then Some (Repro_trace.Trace.create ()) else None
+            in
+            let rounds = Rounds.create ?trace:tracer ~n ~d:(max 1 d) () in
+            let t0 = Unix.gettimeofday () in
+            let t =
+              Pool.with_pool ~jobs (fun pool ->
+                  Decomposition.build ~rounds ~pool
+                    ?small_part_cutoff:cutoff emb)
+            in
+            let wall = Unix.gettimeofday () -. t0 in
+            (t, Rounds.total rounds, wall, tracer)
+          in
+          let base_wall = ref 0.0 in
+          List.iter
+            (fun cutoff ->
+              let t, charged, w0, tracer =
+                build cutoff (cutoff = Some 64 && side = 100)
+              in
+              (* Median of three walls; the decomposition and the charged
+                 ledger are deterministic, only wall varies. *)
+              let _, _, w1, _ = build cutoff false in
+              let _, _, w2, _ = build cutoff false in
+              let wall = List.nth (List.sort compare [ w0; w1; w2 ]) 1 in
+              if cutoff = None then base_wall := wall;
+              (match tracer with
+              | Some tr when side = 100 ->
+                record_metrics
+                  (Printf.sprintf "fastpath-%s-%d" family n)
+                  (Repro_trace.Trace.to_metrics tr)
+              | _ -> ());
+              Table.add_row t2
+                [
+                  family;
+                  Table.fmt_int n;
+                  (match cutoff with None -> "-" | Some c -> Table.fmt_int c);
+                  Table.fmt_int (List.length t.Decomposition.pieces);
+                  Table.fmt_int t.Decomposition.levels;
+                  Table.fmt_int t.Decomposition.separator_count;
+                  Printf.sprintf "%.0f" charged;
+                  Table.fmt_float ~digits:2 wall;
+                  Table.fmt_float ~digits:2 (!base_wall /. Float.max wall 1e-9);
+                ])
+            [ None; Some 64; Some 1024; Some 4096 ])
+        [
+          ("grid", Gen.grid ~rows:side ~cols:side);
+          ("stacked", Gen.stacked_triangulation ~seed:3 ~n:(side * side) ());
+        ])
+    sides;
+  output t2;
+  pf "(speedup = congest-only wall / cutoff wall, median of 3 runs; the\n";
+  pf " charged-rounds column shows the price of the fast path in the model:\n";
+  pf " each dispatched part pays its O(part) backend-collect)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1499,12 +1657,12 @@ let micro () =
 
 let () =
   (* usage: main [--jobs N] [--short] [--out PATH] [experiment]
-     (experiment: e1..e16, f1..f3, micro; default all).  --short shrinks
+     (experiment: e1..e17, f1..f3, micro; default all).  --short shrinks
      instance sizes for the CI smoke run; --out overrides the JSON dump
-     path (default BENCH_5.json). *)
+     path (default BENCH_6.json). *)
   let jobs = ref (Pool.default_jobs ()) in
   let short = ref false in
-  let out = ref "BENCH_5.json" in
+  let out = ref "BENCH_6.json" in
   let only = ref None in
   let argc = Array.length Sys.argv in
   let i = ref 1 in
@@ -1555,6 +1713,7 @@ let () =
   run "e14" (e14 ~jobs:!jobs);
   run "e15" (e15 ~short:!short);
   run "e16" (e16 ~short:!short);
+  run "e17" (e17 ~jobs:!jobs ~short:!short);
   run "f3" (f3 ~short:!short);
   run "micro" micro;
   write_json ~path:!out ~jobs:!jobs ~timings:(List.rev !timings);

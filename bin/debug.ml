@@ -169,8 +169,34 @@ let conventions_cmd =
 (* separator: all-family stress with phase histogram                    *)
 (* ------------------------------------------------------------------ *)
 
+let backend_arg =
+  let doc =
+    "Separator backend to stress (congest, lt-level, hn-cycle, or any \
+     client-registered name)."
+  in
+  Arg.(value & opt string "congest" & info [ "backend" ] ~docv:"NAME" ~doc)
+
+let resolve_backend name =
+  Repro_baseline.Backends.ensure ();
+  match Backend.lookup_opt name with
+  | Some b -> b
+  | None ->
+    Printf.eprintf "unknown backend %s (registered: %s)\n" name
+      (String.concat ", " (Backend.names ()));
+    exit 2
+
+let cutoff_arg =
+  let doc =
+    "Dispatch components with at most $(docv) vertices to the centralized \
+     fast-path backend (0 disables)."
+  in
+  Arg.(value & opt int 0 & info [ "cutoff" ] ~docv:"N" ~doc)
+
+let cutoff_of n = if n <= 0 then None else Some n
+
 let separator_cmd =
-  let run specs =
+  let run specs backend =
+    let b = resolve_backend backend in
     let phases = Hashtbl.create 16 in
     let bump k =
       Hashtbl.replace phases k
@@ -180,7 +206,7 @@ let separator_cmd =
     let check name emb spanning =
       incr total;
       let cfg = Config.of_embedded ~spanning emb in
-      match Separator.find cfg with
+      match b.Backend.find cfg with
       | exception e ->
         incr failures;
         Printf.printf "EXCEPTION %s [%s]: %s\n" name (Spanning.kind_name spanning)
@@ -189,7 +215,16 @@ let separator_cmd =
         bump r.Separator.phase;
         if r.Separator.candidates_tried > 1 then incr extra_candidates;
         let verdict = Check.check_separator cfg r.Separator.separator in
-        if not verdict.Check.valid then begin
+        (* Centralized backends don't promise the tree-path shape — judge
+           them on balance alone. *)
+        let ok =
+          match b.Backend.kind with
+          | Backend.Distributed -> verdict.Check.valid
+          | Backend.Centralized ->
+            verdict.Check.size > 0
+            && verdict.Check.max_component <= verdict.Check.limit
+        in
+        if not ok then begin
           incr failures;
           Printf.printf "INVALID %s [%s] phase=%s: %s\n" name
             (Spanning.kind_name spanning) r.Separator.phase
@@ -230,7 +265,7 @@ let separator_cmd =
     Hashtbl.iter (fun k v -> Printf.printf "  phase %-16s : %d\n" k v) phases;
     exit (if !failures = 0 then 0 else 1)
   in
-  let term = Term.(const run $ spec_arg) in
+  let term = Term.(const run $ spec_arg $ backend_arg) in
   Cmd.v
     (Cmd.info "separator"
        ~doc:
@@ -243,14 +278,18 @@ let separator_cmd =
 (* ------------------------------------------------------------------ *)
 
 let dfs_cmd =
-  let run specs jobs =
+  let run specs jobs backend cutoff =
+    let b = resolve_backend backend in
+    let cutoff = cutoff_of cutoff in
     Repro_util.Pool.with_pool ~jobs @@ fun pool ->
     let failures = ref 0 and total = ref 0 in
     let max_phases = ref 0 in
     let check ?spanning name emb =
       incr total;
       let root = Embedded.outer emb in
-      match Dfs.run ?spanning ~pool emb ~root with
+      match
+        Dfs.run ?spanning ~pool ~backend:b ?small_part_cutoff:cutoff emb ~root
+      with
       | exception e ->
         incr failures;
         Printf.printf "EXCEPTION %s: %s\n" name (Printexc.to_string e)
@@ -284,7 +323,9 @@ let dfs_cmd =
         ];
       (* One detailed run. *)
       let emb = Gen.grid_diag ~seed:3 ~rows:20 ~cols:20 () in
-      let r = Dfs.run ~pool emb ~root:0 in
+      let r =
+        Dfs.run ~pool ~backend:b ?small_part_cutoff:cutoff emb ~root:0
+      in
       Printf.printf "tgrid20x20: phases=%d max_join=%d valid=%b\n" r.Dfs.phases
         r.Dfs.max_join_iterations
         (Dfs.verify emb ~root:0 r);
@@ -298,7 +339,7 @@ let dfs_cmd =
     Printf.printf "total=%d failures=%d max_phases=%d\n" !total !failures !max_phases;
     exit (if !failures = 0 then 0 else 1)
   in
-  let term = Term.(const run $ spec_arg $ jobs_arg) in
+  let term = Term.(const run $ spec_arg $ jobs_arg $ backend_arg $ cutoff_arg) in
   Cmd.v
     (Cmd.info "dfs" ~doc:"Stress the deterministic DFS construction")
     term

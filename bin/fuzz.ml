@@ -2,8 +2,8 @@
 
    Usage:
      fuzz [--seed N] [--count N] [--max-size N] [--oracle NAME[,NAME..]]
-          [--families F[,F..]] [--max-failures N] [--artifact-dir DIR]
-          [--replay SPEC] [--list] [--self-check] [-v]
+          [--families F[,F..]] [--backend NAME[,NAME..]] [--max-failures N]
+          [--artifact-dir DIR] [--replay SPEC] [--list] [--self-check] [-v]
 
    Exit codes: 0 all oracles passed, 1 some oracle failed (crash artifacts
    written), 2 usage error.  Every failure prints one replay line; the
@@ -14,9 +14,12 @@ open Repro_testkit
 let usage () =
   prerr_endline
     "usage: fuzz [--seed N] [--count N] [--max-size N] [--oracle NAMES]\n\
-    \            [--families NAMES] [--max-failures N] [--artifact-dir DIR]\n\
-    \            [--replay SPEC] [--list] [--self-check] [-v]\n\n\
+    \            [--families NAMES] [--backend NAMES] [--max-failures N]\n\
+    \            [--artifact-dir DIR] [--replay SPEC] [--list] [--self-check]\n\
+    \            [-v]\n\n\
      --list       print the registered oracles and generator families\n\
+     --backend    separator backends the `backend' oracle checks\n\
+    \             (default: congest,lt-level,hn-cycle)\n\
      --replay     re-run the oracles on one spec (family:n:seed:spanning)\n\
      --self-check injected-bug drill: prove a planted failure is caught,\n\
     \             shrunk to the minimal size and replayable";
@@ -30,6 +33,7 @@ type opts = {
   mutable max_size : int;
   mutable oracles : string list;
   mutable families : string list;
+  mutable backends : string list;
   mutable max_failures : int;
   mutable artifact_dir : string;
   mutable replay : string option;
@@ -45,6 +49,7 @@ let parse_args () =
       max_size = 64;
       oracles = [];
       families = [];
+      backends = [];
       max_failures = 1;
       artifact_dir = "_fuzz";
       replay = None;
@@ -80,6 +85,9 @@ let parse_args () =
     | "--families" :: v :: rest ->
       o.families <- o.families @ split_commas v;
       go rest
+    | "--backend" :: v :: rest ->
+      o.backends <- o.backends @ split_commas v;
+      go rest
     | "--artifact-dir" :: v :: rest ->
       o.artifact_dir <- v;
       go rest
@@ -110,6 +118,23 @@ let parse_args () =
 
 let resolve_oracles names =
   match names with [] -> None | ns -> Some (List.map Oracle.find ns)
+
+(* Narrow the `backend' oracle to the requested separator backends (after
+   validating them against the registry). *)
+let apply_backends = function
+  | [] -> ()
+  | bs ->
+    Repro_baseline.Backends.ensure ();
+    let known = Repro_core.Backend.names () in
+    List.iter
+      (fun b ->
+        if not (List.mem b known) then begin
+          Printf.eprintf "fuzz: unknown backend %s (known: %s)\n" b
+            (String.concat ", " known);
+          exit 2
+        end)
+      bs;
+    Oracle.restrict_backends bs
 
 let resolve_families = function
   | [] -> None
@@ -207,6 +232,7 @@ let self_check opts =
 
 let () =
   let opts = parse_args () in
+  apply_backends opts.backends;
   if opts.self_check then self_check opts;
   match opts.replay with
   | Some spec -> replay opts spec

@@ -55,6 +55,33 @@ let jobs_arg =
     & opt int (Repro_util.Pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let backend_arg =
+  let doc =
+    "Separator backend: $(b,congest) (the distributed six-phase algorithm), \
+     $(b,lt-level) (centralized BFS level), $(b,hn-cycle) (centralized \
+     simple-cycle heuristic), or any client-registered name."
+  in
+  Arg.(value & opt string "congest" & info [ "backend" ] ~docv:"NAME" ~doc)
+
+let cutoff_arg =
+  let doc =
+    "Centralized fast path: recursion parts with at most $(docv) vertices are \
+     dispatched to the first registered centralized backend (lt-level) \
+     instead of $(b,--backend).  0 disables the fast path."
+  in
+  Arg.(value & opt int 0 & info [ "cutoff" ] ~docv:"N" ~doc)
+
+let resolve_backend name =
+  Backends.ensure ();
+  match Backend.lookup_opt name with
+  | Some b -> b
+  | None ->
+    Printf.eprintf "unknown backend %s (registered: %s)\n" name
+      (String.concat ", " (Backend.names ()));
+    exit 2
+
+let cutoff_of n = if n <= 0 then None else Some n
+
 let edges_arg =
   let doc =
     "Load the graph from an edge-list file (one 'u v' pair per line; vertex \
@@ -194,24 +221,37 @@ let svg_arg =
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
 let sep_cmd =
-  let run family n seed edges tree shrink verbose svg trace chrome metrics =
+  let run family n seed edges tree backend shrink verbose svg trace chrome
+      metrics =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
+    let b = resolve_backend backend in
     let cfg = Config.of_embedded ~spanning:(spanning_of_string seed tree) emb in
     let tracer = tracer_of_flags ~trace ~chrome ~metrics in
     let rounds = Rounds.create ?trace:tracer ~n:(Graph.n g) ~d () in
-    let r = Separator.find ~rounds cfg in
+    let r = b.Backend.find ~rounds cfg in
     let verdict = Check.check_separator cfg r.Separator.separator in
-    Printf.printf "\nseparator phase    : %s (%d candidate(s))\n" r.Separator.phase
+    (* The tree-path shape is part of the contract only for the distributed
+       algorithm; centralized backends are judged on balance alone. *)
+    let ok =
+      match b.Backend.kind with
+      | Backend.Distributed -> verdict.Check.valid
+      | Backend.Centralized ->
+        verdict.Check.size > 0
+        && verdict.Check.max_component <= verdict.Check.limit
+    in
+    Printf.printf "\nbackend            : %s (%s)\n" b.Backend.name
+      b.Backend.description;
+    Printf.printf "separator phase    : %s (%d candidate(s))\n" r.Separator.phase
       r.Separator.candidates_tried;
     Printf.printf "separator size     : %d\n" verdict.Check.size;
     Printf.printf "max component      : %d (limit %d)\n" verdict.Check.max_component
       verdict.Check.limit;
-    Printf.printf "valid              : %b\n" verdict.Check.valid;
+    Printf.printf "valid              : %b\n" ok;
     Printf.printf "charged rounds     : %.0f (%.0f x D)\n" (Rounds.total rounds)
       (Rounds.total rounds /. float_of_int d);
     if shrink then begin
-      let s = Separator.shrink cfg r.Separator.separator in
+      let s = b.Backend.trim cfg r.Separator.separator in
       Printf.printf "after shrink       : %d nodes (balanced %b)\n" (List.length s)
         (Check.balanced cfg s)
     end;
@@ -225,13 +265,13 @@ let sep_cmd =
       Printf.printf "svg written       : %s\n" path
     | None -> ());
     emit_trace ~trace ~chrome ~metrics tracer;
-    exit (if verdict.Check.valid then 0 else 1)
+    exit (if ok then 0 else 1)
   in
   let term =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ tree_arg
-      $ shrink_arg $ verbose_arg $ svg_arg $ trace_arg $ trace_chrome_arg
-      $ trace_metrics_arg)
+      $ backend_arg $ shrink_arg $ verbose_arg $ svg_arg $ trace_arg
+      $ trace_chrome_arg $ trace_metrics_arg)
   in
   Cmd.v
     (Cmd.info "sep" ~doc:"Compute and verify a deterministic cycle separator")
@@ -250,14 +290,18 @@ let compare_arg =
   Arg.(value & flag & info [ "compare-awerbuch" ] ~doc)
 
 let dfs_cmd =
-  let run family n seed edges root jobs compare_awerbuch trace chrome metrics =
+  let run family n seed edges root jobs backend cutoff compare_awerbuch trace
+      chrome metrics =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
+    let b = resolve_backend backend in
     let root = match root with Some r -> r | None -> Embedded.outer emb in
     let tracer = tracer_of_flags ~trace ~chrome ~metrics in
     let rounds = Rounds.create ?trace:tracer ~n:(Graph.n g) ~d () in
     let r =
-      Repro_util.Pool.with_pool ~jobs (fun pool -> Dfs.run ~rounds ~pool emb ~root)
+      Repro_util.Pool.with_pool ~jobs (fun pool ->
+          Dfs.run ~rounds ~pool ~backend:b
+            ?small_part_cutoff:(cutoff_of cutoff) emb ~root)
     in
     let ok = Dfs.verify emb ~root r in
     Printf.printf "\nDFS root           : %d\n" root;
@@ -278,8 +322,8 @@ let dfs_cmd =
   let term =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ root_arg
-      $ jobs_arg $ compare_arg $ trace_arg $ trace_chrome_arg
-      $ trace_metrics_arg)
+      $ jobs_arg $ backend_arg $ cutoff_arg $ compare_arg $ trace_arg
+      $ trace_chrome_arg $ trace_metrics_arg)
   in
   Cmd.v
     (Cmd.info "dfs" ~doc:"Compute a DFS tree with the deterministic Õ(D) algorithm")
@@ -302,9 +346,12 @@ let by_size_arg =
   Arg.(value & flag & info [ "by-size" ] ~doc)
 
 let bdd_cmd =
-  let run family n seed edges target piece by_size jobs trace chrome metrics =
+  let run family n seed edges target piece by_size jobs backend cutoff trace
+      chrome metrics =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
+    let b = resolve_backend backend in
+    let cutoff = cutoff_of cutoff in
     let tracer = tracer_of_flags ~trace ~chrome ~metrics in
     let rounds =
       Option.map
@@ -314,13 +361,17 @@ let bdd_cmd =
     let t, ok =
       Repro_util.Pool.with_pool ~jobs (fun pool ->
           if by_size then begin
-            let t = Decomposition.build ?rounds ~pool ~piece_target:piece emb in
+            let t =
+              Decomposition.build ?rounds ~pool ~piece_target:piece ~backend:b
+                ?small_part_cutoff:cutoff emb
+            in
             (t, Decomposition.check emb ~piece_target:piece t)
           end
           else begin
             let t =
               Decomposition.bounded_diameter ?rounds ~pool
-                ~diameter_target:target emb
+                ~diameter_target:target ~backend:b ?small_part_cutoff:cutoff
+                emb
             in
             (t, Decomposition.check_bounded_diameter emb ~diameter_target:target t)
           end)
@@ -341,8 +392,8 @@ let bdd_cmd =
   let term =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ edges_arg $ target_arg
-      $ piece_arg $ by_size_arg $ jobs_arg $ trace_arg $ trace_chrome_arg
-      $ trace_metrics_arg)
+      $ piece_arg $ by_size_arg $ jobs_arg $ backend_arg $ cutoff_arg
+      $ trace_arg $ trace_chrome_arg $ trace_metrics_arg)
   in
   Cmd.v
     (Cmd.info "bdd"

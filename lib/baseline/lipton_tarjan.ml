@@ -3,10 +3,14 @@
    - [level_separator]: the classic first step — a single BFS level whose
      removal leaves both sides with at most 2n/3 vertices.  Always exists;
      may be large (it is not a cycle).
-   - [best_fundamental_cycle]: exhaustive search over the fundamental cycles
-     of a BFS tree for the one minimizing the largest remaining component —
-     a centralized "best possible cycle separator for this tree" yardstick
-     for separator-quality experiments (O(m · (n + m)); small inputs only). *)
+   - [best_fundamental_cycle]: search over the fundamental cycles of a BFS
+     tree for the one minimizing the largest remaining component — a
+     centralized "best possible cycle separator for this tree" yardstick
+     for separator-quality experiments.  The candidate loop shares one set
+     of stamped scratch arrays and abandons a candidate's component sweep
+     as soon as some component provably exceeds the incumbent, so typical
+     instances evaluate most candidates in far less than the naive
+     O(n + m) sweep each (worst case unchanged). *)
 
 open Repro_graph
 open Repro_tree
@@ -41,11 +45,17 @@ let max_component_after g removed_list =
   done;
   !best
 
-let best_fundamental_cycle g ~root =
+(* Stop scanning the candidate stream once the incumbent's max component is
+   this small (used by the hn-cycle backend: any balanced cycle will do). *)
+exception Good_enough
+
+let best_fundamental_cycle ?stop_at g ~root =
+  let n = Graph.n g in
   let parent = Spanning.bfs g ~root in
   let depth = Algo.bfs_dist g root in
   let path_between u v =
-    (* Walk both endpoints up to their meeting point. *)
+    (* Walk both endpoints up to their meeting point; the list runs from
+       [u] to [v], so its ends are exactly the closing non-tree edge. *)
     let rec go u v left right =
       if u = v then List.rev_append left (u :: right)
       else if depth.(u) >= depth.(v) then go parent.(u) v (u :: left) right
@@ -53,17 +63,103 @@ let best_fundamental_cycle g ~root =
     in
     go u v [] []
   in
+  (* Vertex count of the fundamental cycle, with no list materialization. *)
+  let cycle_length u v =
+    let rec go u v acc =
+      if u = v then acc + 1
+      else if depth.(u) >= depth.(v) then go parent.(u) v (acc + 1)
+      else go u parent.(v) (acc + 1)
+    in
+    go u v 0
+  in
+  (* Scratch shared by every candidate: stamp arrays need no clearing
+     between candidates, and one queue serves every component sweep. *)
+  let stamp = ref 0 in
+  let on_cycle = Array.make n 0 in
+  let visited = Array.make n 0 in
+  let queue = Array.make n 0 in
+  let mark_cycle s u v =
+    let rec go u v =
+      if u = v then on_cycle.(u) <- s
+      else if depth.(u) >= depth.(v) then begin
+        on_cycle.(u) <- s;
+        go parent.(u) v
+      end
+      else begin
+        on_cycle.(v) <- s;
+        go u parent.(v)
+      end
+    in
+    go u v
+  in
+  (* Largest remaining component, abandoning the sweep as soon as any
+     component exceeds [cap] (the candidate then cannot beat the
+     incumbent). *)
+  let max_comp_bounded s cap =
+    let mc = ref 0 in
+    let aborted = ref false in
+    let v = ref 0 in
+    while (not !aborted) && !v < n do
+      let x = !v in
+      if on_cycle.(x) <> s && visited.(x) <> s then begin
+        visited.(x) <- s;
+        queue.(0) <- x;
+        let head = ref 0 and tail = ref 1 in
+        let size = ref 0 in
+        while (not !aborted) && !head < !tail do
+          let u = queue.(!head) in
+          incr head;
+          incr size;
+          if !size > cap then aborted := true
+          else
+            Graph.iter_neighbors g u (fun w ->
+                if on_cycle.(w) <> s && visited.(w) <> s then begin
+                  visited.(w) <- s;
+                  queue.(!tail) <- w;
+                  incr tail
+                end)
+        done;
+        if !size > !mc then mc := !size
+      end;
+      incr v
+    done;
+    if !aborted then None else Some !mc
+  in
+  (* Incumbent as (u, v, mc, length); the winning cycle is materialized
+     once, at the end. *)
   let best = ref None in
-  Graph.iter_edges g (fun u v ->
-      if parent.(u) <> v && parent.(v) <> u then begin
-        let cycle = path_between u v in
-        let mc = max_component_after g cycle in
-        match !best with
-        | Some (_, bmc, bsize)
-          when bmc < mc || (bmc = mc && bsize <= List.length cycle) ->
-          ()
-        | _ -> best := Some (cycle, mc, List.length cycle)
-      end);
+  (try
+     Graph.iter_edges g (fun u v ->
+         if parent.(u) <> v && parent.(v) <> u then begin
+           let len = cycle_length u v in
+           (* Abort threshold: strictly beating the incumbent needs a
+              smaller max component — or an equal one with a strictly
+              shorter cycle, which this candidate's length may already
+              rule out. *)
+           let cap =
+             match !best with
+             | None -> max_int
+             | Some (_, _, bmc, bsize) -> if len < bsize then bmc else bmc - 1
+           in
+           if cap >= 0 then begin
+             incr stamp;
+             let s = !stamp in
+             mark_cycle s u v;
+             match max_comp_bounded s cap with
+             | None -> () (* some component exceeded cap: incumbent stands *)
+             | Some mc ->
+               (match !best with
+               | Some (_, _, bmc, bsize) when bmc < mc || (bmc = mc && bsize <= len)
+                 ->
+                 ()
+               | _ -> best := Some (u, v, mc, len));
+               (match (!best, stop_at) with
+               | Some (_, _, bmc, _), Some goal when bmc <= goal ->
+                 raise Good_enough
+               | _ -> ())
+           end
+         end)
+   with Good_enough -> ());
   match !best with
-  | Some (cycle, mc, _) -> Some (cycle, mc)
+  | Some (u, v, mc, _) -> Some (path_between u v, mc)
   | None -> None

@@ -8,7 +8,13 @@ val level_separator : Graph.t -> root:int -> int list
 val max_component_after : Graph.t -> int list -> int
 (** Largest component once the listed vertices are removed. *)
 
-val best_fundamental_cycle : Graph.t -> root:int -> (int list * int) option
+val best_fundamental_cycle :
+  ?stop_at:int -> Graph.t -> root:int -> (int list * int) option
 (** The BFS-tree fundamental cycle minimizing the largest remaining
     component, with that component's size; [None] if the graph is a tree.
-    O(m · (n + m)) — yardstick for small instances. *)
+    The cycle list runs from one endpoint of the closing non-tree edge to
+    the other.  Candidates share stamped scratch arrays and each component
+    sweep is abandoned as soon as the candidate provably cannot beat the
+    incumbent, so the O(m · (n + m)) worst case is rarely reached.
+    [stop_at] stops the scan once the incumbent's max component is at most
+    the given size (any balanced cycle will do for backend use). *)

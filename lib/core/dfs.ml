@@ -38,10 +38,29 @@ let tracer rounds = Option.bind rounds Rounds.tracer
 
 let span rounds name f = Repro_trace.Trace.within (tracer rounds) name f
 
-let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
+let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool ?backend
+    ?small_part_cutoff ?small_backend emb ~root =
   let g = Embedded.graph emb in
   let n = Graph.n g in
   Graph.check_vertex g root;
+  (* Per-component backend dispatch mirrors Decomposition: components at
+     or below the cutoff go to the centralized fast path. *)
+  let backend =
+    match backend with Some b -> b | None -> Backend.default ()
+  in
+  let small_backend =
+    match small_backend with
+    | Some b -> b
+    | None -> (
+      match Backend.centralized_default () with
+      | Some b -> b
+      | None -> backend)
+  in
+  let pick members =
+    match small_part_cutoff with
+    | Some c when Array.length members <= c -> small_backend
+    | _ -> backend
+  in
   (match rounds with Some r -> Rounds.charge_embedding r | None -> ());
   let pmap ~label ~cost f arr =
     match pool with
@@ -87,7 +106,8 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool emb ~root =
             in
             let cfg = Config.of_part ~spanning ~members ~root:part_root emb in
             let local = Option.map Rounds.like rounds in
-            let r = Separator.find ?rounds:local cfg in
+            let b = pick members in
+            let r = b.Backend.find ?rounds:local cfg in
             let separator_global =
               List.map (Config.to_global cfg) r.Separator.separator
             in

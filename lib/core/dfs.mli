@@ -19,13 +19,23 @@ val run :
   ?rounds:Rounds.t ->
   ?spanning:Spanning.kind ->
   ?pool:Repro_util.Pool.t ->
+  ?backend:Backend.t ->
+  ?small_part_cutoff:int ->
+  ?small_backend:Backend.t ->
   Embedded.t ->
   root:int ->
   result
 (** The per-phase separator and join batches are distributed over [pool]
     when given; results and charged rounds are independent of the pool size
     (per-part round ledgers are merged in part-index order, charging each
-    batch its heaviest part). *)
+    batch its heaviest part).
+
+    Separators are computed by [backend] (default: the registry's
+    ["congest"] backend — bit-identical to the pre-registry pipeline).
+    When [small_part_cutoff] is given, components at or below that size
+    dispatch to [small_backend] instead (default: the first registered
+    centralized backend), charged their O(part) collect cost and visible
+    as distinct [backend.<name>] trace spans. *)
 
 val verify : Embedded.t -> root:int -> result -> bool
 (** DFS-tree check: spanning, rooted correctly, and every non-tree edge

@@ -834,6 +834,123 @@ let run_pool (inst : Instance.t) =
   finish ~name:"pool" ctx
 
 (* ------------------------------------------------------------------ *)
+(* 10. "backend": separator-backend registry conformance — every        *)
+(*     selected backend balances (cross-checked by two independent      *)
+(*     component computations), certificates hold, the uniform trim     *)
+(*     post-pass behaves, and the charge discipline matches the kind.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Fuzz-selectable subset of the backend registry: defaults to the three
+   shipped backends so test-registered extras don't leak into fuzz runs;
+   [restrict_backends] (bin/fuzz --backend) narrows or widens it. *)
+let backend_filter = ref [ "congest"; "lt-level"; "hn-cycle" ]
+let restrict_backends names = backend_filter := names
+
+let run_backend (inst : Instance.t) =
+  let ctx = ctx_create () in
+  Backends.ensure ();
+  (* Registry round-trip. *)
+  let bs = Backend.all () in
+  ck ctx "congest registered first and is the default"
+    (match bs with
+    | b :: _ ->
+      b.Backend.name = "congest"
+      && (Backend.default ()).Backend.name = "congest"
+    | [] -> false);
+  ck ctx "shipped backends present"
+    (List.for_all
+       (fun name -> List.exists (fun b -> b.Backend.name = name) bs)
+       [ "congest"; "lt-level"; "hn-cycle" ]);
+  ck ctx "lookup round-trips"
+    (List.for_all
+       (fun b -> (Backend.lookup b.Backend.name).Backend.name = b.Backend.name)
+       bs);
+  ck ctx "duplicate registration rejected"
+    (match Backend.register (Backend.default ()) with
+    | () -> false
+    | exception Backend.Duplicate_backend "congest" -> true
+    | exception _ -> false);
+  ck ctx "centralized default resolves"
+    (match Backend.centralized_default () with
+    | Some b -> b.Backend.kind = Backend.Centralized
+    | None -> false);
+  let g = Config.graph inst.config in
+  let n = Graph.n g in
+  let d = Algo.diameter g in
+  let lg = log2ceil n in
+  let limit = Check.balance_limit n in
+  let selected =
+    List.filter (fun b -> List.mem b.Backend.name !backend_filter) bs
+  in
+  ck ctx "backend filter selects at least one backend" (selected <> []);
+  List.iter
+    (fun b ->
+      let name = b.Backend.name in
+      let lbl s = Printf.sprintf "%s[%s]" s name in
+      let ledger = Rounds.create ~n ~d:(max 1 d) () in
+      let r = b.Backend.find ~rounds:ledger inst.config in
+      let sep = r.Separator.separator in
+      ck ctx (lbl "separator nonempty") (sep <> []);
+      ck ctx (lbl "separator vertices in range")
+        (List.for_all (fun v -> v >= 0 && v < n) sep);
+      (* Balance, cross-validated: Check and the Lipton–Tarjan baseline
+         implement the component computation independently. *)
+      let mc = Lipton_tarjan.max_component_after g sep in
+      ck ctx (Printf.sprintf "%s: max component %d <= %d" name mc limit)
+        (mc <= limit);
+      let removed = Array.make n false in
+      List.iter (fun v -> removed.(v) <- true) sep;
+      ck ctx (lbl "Check = Lipton-Tarjan max-component")
+        (Check.max_component_without g removed = mc);
+      (* Determinism: a second find is bit-identical. *)
+      let r2 = b.Backend.find inst.config in
+      ck ctx (lbl "find deterministic")
+        (r2.Separator.separator = sep && r2.Separator.phase = r.Separator.phase);
+      (* Certificate discipline: endpoints only from cycle-certified
+         backends, and the closing edge must be DMP-certifiable. *)
+      (match r.Separator.endpoints with
+      | None -> ()
+      | Some e ->
+        ck ctx (lbl "endpoints imply cycle-certified")
+          (b.Backend.certificate = Backend.Cycle_certified);
+        ck ctx (lbl "closing edge certifiable (DMP)")
+          (Check.cycle_closable inst.config ~endpoints:e));
+      (* The uniform trim post-pass keeps balance and never grows. *)
+      let trimmed = b.Backend.trim inst.config sep in
+      ck ctx (lbl "trim never grows")
+        (List.length trimmed <= List.length sep);
+      ck ctx (lbl "trimmed separator still balanced")
+        (Lipton_tarjan.max_component_after g trimmed <= limit);
+      (* Size-vs-sqrt(n) tripwire: vacuous at fuzz sizes, catches only a
+         catastrophic quality regression on the big suite instances. *)
+      let sqrt_n = int_of_float (ceil (sqrt (float_of_int n))) in
+      ck ctx (lbl "trimmed size within 4*sqrt(n)*lg + 8")
+        (List.length trimmed <= (4 * sqrt_n * lg) + 8);
+      (* Charge discipline per kind: distributed backends stay within the
+         Õ(D) budget; centralized ones charge exactly one O(part)
+         collect. *)
+      match b.Backend.kind with
+      | Backend.Distributed ->
+        let inv_budget = (16 * lg) + 48 in
+        ck ctx
+          (Printf.sprintf "%s: ledger invocations %d <= %d" name
+             (Rounds.invocations ledger)
+             inv_budget)
+          (Rounds.invocations ledger <= inv_budget);
+        bud ctx (lbl "charged rounds")
+          (int_of_float (Rounds.total ledger))
+          (int_of_float
+             (float_of_int (inv_budget * lg * lg) *. Rounds.pa_cost ledger))
+      | Backend.Centralized ->
+        let collect = Printf.sprintf "backend-collect[%s]" name in
+        ck ctx (lbl "collect charged exactly once")
+          (Rounds.label_invocations ledger collect = 1);
+        ck ctx (lbl "collect charge covers the part")
+          (Rounds.total ledger >= float_of_int n))
+    selected;
+  finish ~name:"backend" ctx
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -936,5 +1053,10 @@ let () =
         name = "pool";
         guards = "Theorem 1 parallelism (pool determinism)";
         run = run_pool;
+      };
+      {
+        name = "backend";
+        guards = "backend registry conformance (congest / lt-level / hn-cycle)";
+        run = run_backend;
       };
     ]

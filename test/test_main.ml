@@ -24,6 +24,7 @@ let () =
          Test_decomposition.suites;
          Test_composed.suites;
          Test_baseline.suites;
+         Test_backend.suites;
          Engine_equiv.suites;
          Test_collective.suites;
          Test_pool.suites;
