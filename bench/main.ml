@@ -1,4 +1,4 @@
-(* Benchmark harness: regenerates every experiment table (E1..E17) and figure
+(* Benchmark harness: regenerates every experiment table (E1..E18) and figure
    series (F1..F3) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
    micro-benchmarks of the core routines.
 
@@ -21,7 +21,7 @@ let section title = pf "\n######## %s ########\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable recording: every table printed by an experiment is  *)
-(* also captured, and the whole run is dumped to BENCH_6.json.          *)
+(* also captured, and the whole run is dumped to BENCH_7.json.          *)
 (* ------------------------------------------------------------------ *)
 
 (* Peak resident set size of this process, from the kernel's high-water
@@ -1603,6 +1603,7 @@ let e17 ~jobs ~short () =
             [ None; Some 64; Some 1024; Some 4096 ])
         [
           ("grid", Gen.grid ~rows:side ~cols:side);
+          ("tgrid", Gen.grid_diag ~seed:3 ~rows:side ~cols:side ());
           ("stacked", Gen.stacked_triangulation ~seed:3 ~n:(side * side) ());
         ])
     sides;
@@ -1610,6 +1611,146 @@ let e17 ~jobs ~short () =
   pf "(speedup = congest-only wall / cutoff wall, median of 3 runs; the\n";
   pf " charged-rounds column shows the price of the fast path in the model:\n";
   pf " each dispatched part pays its O(part) backend-collect)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E18: the hostile-input screen — clean overhead and detection.       *)
+(* ------------------------------------------------------------------ *)
+
+let e18 ~short () =
+  section "E18  Hostile-input screen: clean overhead & detection";
+  pf "expected: screening adds <= 5%% wall overhead to a clean n ~ 10^5\n";
+  pf " decomposition, and every hostile family is rejected/flagged inside\n";
+  pf " the pinned O~(D) ceiling (<= 4 PA units) before any phase runs\n";
+  (* Part 1: overhead on clean input.  The screen runs inside every entry
+     point; its median wall and charged cost relative to the build it
+     guards is the overhead a well-formed caller pays. *)
+  let t1 =
+    Table.create ~title:"E18a  screen overhead on clean decompositions"
+      [
+        "family"; "n"; "D"; "screen (ms)"; "build (s)"; "wall overhead";
+        "screen charged"; "total charged"; "charged overhead";
+      ]
+  in
+  Table.set_align t1 0 Table.Left;
+  let sides = if short then [ 100 ] else [ 100; 316 ] in
+  let clean_metrics = ref [] in
+  List.iter
+    (fun side ->
+      List.iter
+        (fun (family, emb) ->
+          let g = Embedded.graph emb in
+          let n = Graph.n g in
+          let d = max 1 (Algo.diameter g) in
+          (* Median of 3 screen walls; the verdict and the charges are
+             deterministic, only wall varies. *)
+          let screen_once () =
+            let ledger = Rounds.create ~n ~d () in
+            let t0 = Unix.gettimeofday () in
+            let v = Screen.check ~rounds:ledger emb in
+            (v, Unix.gettimeofday () -. t0, ledger)
+          in
+          let v, w0, ledger = screen_once () in
+          let _, w1, _ = screen_once () in
+          let _, w2, _ = screen_once () in
+          let swall = List.nth (List.sort compare [ w0; w1; w2 ]) 1 in
+          assert (Screen.accepted v);
+          assert (Rounds.invocations ledger <= 4);
+          let full = Rounds.create ~n ~d () in
+          let t0 = Unix.gettimeofday () in
+          let _ = Decomposition.build ~rounds:full emb in
+          let bwall = Unix.gettimeofday () -. t0 in
+          let scharged = Rounds.total ledger in
+          let tcharged = Rounds.total full in
+          Table.add_row t1
+            [
+              family;
+              Table.fmt_int n;
+              Table.fmt_int d;
+              Table.fmt_float ~digits:1 (swall *. 1000.0);
+              Table.fmt_float ~digits:2 bwall;
+              Printf.sprintf "%.2f%%" (100.0 *. swall /. Float.max bwall 1e-9);
+              Printf.sprintf "%.0f" scharged;
+              Printf.sprintf "%.0f" tcharged;
+              Printf.sprintf "%.2f%%" (100.0 *. scharged /. Float.max tcharged 1e-9);
+            ];
+          if side = 100 then
+            clean_metrics :=
+              ( Printf.sprintf "%s-%d" family n,
+                Repro_trace.Json.Obj
+                  [
+                    ("screen_pa", Repro_trace.Json.Int (Rounds.invocations ledger));
+                    ("screen_charged", Repro_trace.Json.Int (int_of_float scharged));
+                    ("total_charged", Repro_trace.Json.Int (int_of_float tcharged));
+                  ] )
+              :: !clean_metrics)
+        [
+          ("grid", Gen.grid ~rows:side ~cols:side);
+          ("tgrid", Gen.grid_diag ~seed:3 ~rows:side ~cols:side ());
+          ("stacked", Gen.stacked_triangulation ~seed:3 ~n:(side * side) ());
+        ])
+    sides;
+  output t1;
+  (* Part 2: detection.  Every hostile family at one fixed size (the same
+     in --short and full mode, so the committed baseline gates the CI
+     smoke run), each screened inside the pinned ceiling. *)
+  let t2 =
+    Table.create ~title:"E18b  hostile detection (n = 4096, seed 2)"
+      [ "family"; "n"; "verdict"; "wall (ms)"; "charged"; "pa units" ]
+  in
+  Table.set_align t2 0 Table.Left;
+  Table.set_align t2 2 Table.Left;
+  let hostile_metrics = ref [] in
+  List.iter
+    (fun family ->
+      let emb =
+        Repro_testkit.Instance.hostile_embedded
+          { Repro_testkit.Instance.family; n = 4096; seed = 2;
+            spanning = Spanning.Bfs }
+      in
+      let g = Embedded.graph emb in
+      let n = Graph.n g in
+      let d = max 1 (Algo.diameter g) in
+      let ledger = Rounds.create ~n ~d () in
+      let t0 = Unix.gettimeofday () in
+      let v = Screen.check ~rounds:ledger emb in
+      let wall = Unix.gettimeofday () -. t0 in
+      assert (not (Screen.accepted v));
+      (* The pinned O~(D) ceiling: at most 4 PA-unit aggregations. *)
+      assert (Rounds.invocations ledger <= 4);
+      assert (Rounds.total ledger <= 4.0 *. Rounds.pa_cost ledger);
+      (match v with
+      | Screen.Flagged w -> assert (Screen.witness_certifies emb w)
+      | _ -> ());
+      let verdict = Screen.verdict_to_string v in
+      Table.add_row t2
+        [
+          family;
+          Table.fmt_int n;
+          verdict;
+          Table.fmt_float ~digits:1 (wall *. 1000.0);
+          Printf.sprintf "%.0f" (Rounds.total ledger);
+          Table.fmt_int (Rounds.invocations ledger);
+        ];
+      hostile_metrics :=
+        ( family,
+          Repro_trace.Json.Obj
+            [
+              ("verdict", Repro_trace.Json.String verdict);
+              ("charged", Repro_trace.Json.Int (int_of_float (Rounds.total ledger)));
+              ("pa_units", Repro_trace.Json.Int (Rounds.invocations ledger));
+            ] )
+        :: !hostile_metrics)
+    Repro_testkit.Instance.hostile_families;
+  output t2;
+  record_metrics "screen"
+    (Repro_trace.Json.Obj
+       [
+         ("clean", Repro_trace.Json.Obj (List.rev !clean_metrics));
+         ("hostile", Repro_trace.Json.Obj (List.rev !hostile_metrics));
+       ]);
+  pf "(verdicts carry the one-line replay spec at the CLI; overhead is the\n";
+  pf " screen's median-of-3 wall and its charged rounds against the full\n";
+  pf " screened Decomposition.build on the same instance)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
@@ -1657,12 +1798,12 @@ let micro () =
 
 let () =
   (* usage: main [--jobs N] [--short] [--out PATH] [experiment]
-     (experiment: e1..e17, f1..f3, micro; default all).  --short shrinks
+     (experiment: e1..e18, f1..f3, micro; default all).  --short shrinks
      instance sizes for the CI smoke run; --out overrides the JSON dump
-     path (default BENCH_6.json). *)
+     path (default BENCH_7.json). *)
   let jobs = ref (Pool.default_jobs ()) in
   let short = ref false in
-  let out = ref "BENCH_6.json" in
+  let out = ref "BENCH_7.json" in
   let only = ref None in
   let argc = Array.length Sys.argv in
   let i = ref 1 in
@@ -1714,6 +1855,7 @@ let () =
   run "e15" (e15 ~short:!short);
   run "e16" (e16 ~short:!short);
   run "e17" (e17 ~jobs:!jobs ~short:!short);
+  run "e18" (e18 ~short:!short);
   run "f3" (f3 ~short:!short);
   run "micro" micro;
   write_json ~path:!out ~jobs:!jobs ~timings:(List.rev !timings);

@@ -483,7 +483,16 @@ let () =
     Cmd.info "debug" ~version:"1.0.0"
       ~doc:"Debug and stress harnesses for the reproduction (one former ad-hoc binary per subcommand)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ conventions_cmd; separator_cmd; dfs_cmd; grand_cmd; closable_cmd ]))
+  (* Hostile --spec instances (xchords*/xrot/xunion) die in the screened
+     library entries; surface the verdict instead of an exception trace. *)
+  match
+    Cmd.eval
+      (Cmd.group info
+         [ conventions_cmd; separator_cmd; dfs_cmd; grand_cmd; closable_cmd ])
+  with
+  | code -> exit code
+  | exception Screen.Rejected_input { entry; verdict; spec } ->
+    Printf.eprintf "screen rejected at %s: %s\n  replay: %s\n" entry
+      (Screen.verdict_to_string verdict)
+      spec;
+    exit 3

@@ -101,6 +101,8 @@ let parse_args () =
           Printf.printf "  %-12s %s\n" oc.Oracle.name oc.Oracle.guards)
         (Oracle.all ());
       Printf.printf "families: %s\n" (String.concat ", " Instance.families);
+      Printf.printf "hostile families (screen oracle only): %s\n"
+        (String.concat ", " Instance.hostile_families);
       exit 0
     | "--self-check" :: rest ->
       o.self_check <- true;
@@ -139,15 +141,41 @@ let apply_backends = function
 let resolve_families = function
   | [] -> None
   | fs ->
+    let known = Instance.families @ Instance.hostile_families in
     List.iter
       (fun f ->
-        if not (List.mem f Instance.families) then begin
+        if not (List.mem f known) then begin
           Printf.eprintf "fuzz: unknown family %s (known: %s)\n" f
-            (String.concat ", " Instance.families);
+            (String.concat ", " known);
           exit 2
         end)
       fs;
     Some fs
+
+(* Hostile families are only defined for the screen oracle (spanning trees
+   and configurations don't exist on corrupted input), so a hostile run is
+   auto-restricted to it — and an explicit non-screen oracle request over
+   hostile families is a usage error, not a silent skip. *)
+let restrict_for_hostile ~requested_oracles ~families oracles =
+  match families with
+  | Some fs when List.exists Instance.is_hostile fs ->
+    let non_screen = List.filter (( <> ) "screen") requested_oracles in
+    if non_screen <> [] then begin
+      Printf.eprintf
+        "fuzz: oracle %s is not defined on hostile families (only `screen' \
+         is)\n"
+        (String.concat "," non_screen);
+      exit 2
+    end;
+    (match List.filter (fun f -> not (Instance.is_hostile f)) fs with
+    | [] -> ()
+    | clean ->
+      Printf.eprintf
+        "fuzz: cannot mix hostile and clean families in one run (%s)\n"
+        (String.concat "," clean);
+      exit 2);
+    List.filter (fun (o : Oracle.t) -> o.Oracle.name = "screen") oracles
+  | _ -> oracles
 
 let write_artifacts dir ~seed failures =
   (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
@@ -184,6 +212,11 @@ let replay opts spec_string =
     match resolve_oracles opts.oracles with
     | Some os -> os
     | None -> Oracle.all ()
+  in
+  let oracles =
+    restrict_for_hostile ~requested_oracles:opts.oracles
+      ~families:(Some [ spec.Instance.family ])
+      oracles
   in
   let reports = Runner.run_spec ~oracles spec in
   List.iter (fun r -> Format.printf "%a@." Runner.pp_report r) reports;
@@ -242,12 +275,15 @@ let () =
       | Some os -> os
       | None -> Oracle.all ()
     in
+    let families = resolve_families opts.families in
+    let oracles =
+      restrict_for_hostile ~requested_oracles:opts.oracles ~families oracles
+    in
     let log line = if opts.verbose then print_endline line in
     let outcome =
-      Runner.fuzz ~oracles
-        ?families:(resolve_families opts.families)
-        ~max_size:opts.max_size ~max_failures:opts.max_failures ~log
-        ~seed:opts.seed ~count:opts.count ()
+      Runner.fuzz ~oracles ?families ~max_size:opts.max_size
+        ~max_failures:opts.max_failures ~log ~seed:opts.seed
+        ~count:opts.count ()
     in
     Printf.printf "fuzz: %d cases, %d checks, %d failures (seed %d, oracles: %s)\n"
       outcome.Runner.cases outcome.Runner.checks

@@ -21,7 +21,8 @@ open Repro_baseline
 let family_arg =
   let doc =
     "Graph family (grid, tgrid, stacked, thinned, cycle, fan, rtree, path, \
-     star, wheel)."
+     star, wheel; hostile testkit families xchords1/xchords4/xchords16, \
+     xrot, xunion build corrupted embeddings the screen layer rejects)."
   in
   Arg.(value & opt string "tgrid" & info [ "family"; "f" ] ~docv:"FAMILY" ~doc)
 
@@ -166,7 +167,14 @@ let load_edge_list path =
 let instance_of ~family ~n ~seed ~edges =
   match edges with
   | None ->
-    let emb = Gen.by_family ~seed family ~n in
+    let emb =
+      if Repro_testkit.Instance.is_hostile family then
+        (* Hostile testkit families (xchords*/xrot/xunion) build corrupted
+           embeddings on purpose — the screen layer is what rejects them. *)
+        Repro_testkit.Instance.hostile_embedded
+          { family; n; seed; spanning = Spanning.Bfs }
+      else Gen.by_family ~seed family ~n
+    in
     let g = Embedded.graph emb in
     (emb, g, Algo.diameter g)
   | Some path ->
@@ -178,6 +186,17 @@ let instance_of ~family ~n ~seed ~edges =
     | Some rot ->
       let emb = Embedded.make ~name:(Filename.basename path) g rot in
       (emb, g, Algo.diameter g))
+
+(* Screen rejections exit 3 with the verdict and a replay spec on stderr —
+   the hostile-input contract: a typed front-door error, never a deep-phase
+   crash. *)
+let or_screen_reject f =
+  try f ()
+  with Screen.Rejected_input { entry; verdict; spec } ->
+    Printf.eprintf "screen rejected at %s: %s\n  replay: %s\n" entry
+      (Screen.verdict_to_string verdict)
+      spec;
+    exit 3
 
 let print_instance emb g d =
   Printf.printf "instance : %s\n" (Embedded.name emb);
@@ -193,6 +212,8 @@ let gen_cmd =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
     Printf.printf "planar embedding valid : %b\n" (Embedded.is_valid emb);
+    Printf.printf "screen verdict         : %s\n"
+      (Screen.verdict_to_string (Screen.check emb));
     Printf.printf "connected              : %b\n" (Algo.is_connected g);
     (match Embedded.coords emb with
     | Some coords ->
@@ -226,9 +247,13 @@ let sep_cmd =
     let emb, g, d = instance_of ~family ~n ~seed ~edges in
     print_instance emb g d;
     let b = resolve_backend backend in
-    let cfg = Config.of_embedded ~spanning:(spanning_of_string seed tree) emb in
     let tracer = tracer_of_flags ~trace ~chrome ~metrics in
     let rounds = Rounds.create ?trace:tracer ~n:(Graph.n g) ~d () in
+    or_screen_reject @@ fun () ->
+    (* Screen before Config.of_embedded: a corrupted rotation must die
+       with a verdict, not crash the spanning-tree build. *)
+    Screen.require ~rounds ~entry:"sep" emb;
+    let cfg = Config.of_embedded ~spanning:(spanning_of_string seed tree) emb in
     let r = b.Backend.find ~rounds cfg in
     let verdict = Check.check_separator cfg r.Separator.separator in
     (* The tree-path shape is part of the contract only for the distributed
@@ -298,6 +323,7 @@ let dfs_cmd =
     let root = match root with Some r -> r | None -> Embedded.outer emb in
     let tracer = tracer_of_flags ~trace ~chrome ~metrics in
     let rounds = Rounds.create ?trace:tracer ~n:(Graph.n g) ~d () in
+    or_screen_reject @@ fun () ->
     let r =
       Repro_util.Pool.with_pool ~jobs (fun pool ->
           Dfs.run ~rounds ~pool ~backend:b
@@ -358,6 +384,7 @@ let bdd_cmd =
         (fun tr -> Rounds.create ~trace:tr ~n:(Graph.n g) ~d ())
         tracer
     in
+    or_screen_reject @@ fun () ->
     let t, ok =
       Repro_util.Pool.with_pool ~jobs (fun pool ->
           if by_size then begin

@@ -969,6 +969,45 @@ let spanning_forest ?trace g ?parts () =
   (out, phases, st)
 
 (* ------------------------------------------------------------------ *)
+(* SCREENING TALLY: the executed side of the input screen (one-sided   *)
+(* property testing in the Levi–Medina–Ron spirit).  One BFS flood     *)
+(* doubles as the connectivity probe and the communication tree; the   *)
+(* per-vertex tallies the host prepared (degree, face leadership,      *)
+(* minimal violating-edge code) then ride the slots of one part-wise   *)
+(* pipeline each for Sum and Min: Õ(D) total, like every other         *)
+(* collective here.  On a disconnected input the aggregation is        *)
+(* skipped — the reach count already decides the verdict.              *)
+(* ------------------------------------------------------------------ *)
+
+let screen_tally_core comms g ~root ~sums ~mins =
+  let n = Graph.n g in
+  let bfs_parent, dist = comms.bfs ~root in
+  let reached =
+    Array.fold_left (fun a d -> if d >= 0 then a + 1 else a) 0 dist
+  in
+  if reached < n then
+    (Array.map (fun _ -> 0) sums, Array.map (fun _ -> 0) mins, reached)
+  else begin
+    (* Whole graph = one part; results read off at the root. *)
+    let parts = Array.make n 0 in
+    let slot op rows =
+      if Array.length rows = 0 then [||]
+      else
+        comms.partwise ~bcast_parent:bfs_parent ~op ~parts rows
+        |> Array.map (fun res -> res.(root))
+    in
+    (slot Prim.Sum sums, slot Prim.Min mins, reached)
+  end
+
+let screen_tally ?trace g ~root ~sums ~mins =
+  let n = Graph.n g in
+  let (s, m, reached), st =
+    with_batched ?trace ~name:"composed.screen" g ~parent:(Array.make n (-1))
+      ~root (fun comms -> screen_tally_core comms g ~root ~sums ~mins)
+  in
+  (s, m, reached, st)
+
+(* ------------------------------------------------------------------ *)
 (* RE-ROOT-PROBLEM (Lemma 19), executed: same tree edges, new root.     *)
 (*                                                                      *)
 (* One two-slot batched learn (the new root's LEFT position and depth)  *)
@@ -1384,6 +1423,14 @@ module Reference = struct
           spanning_forest_core comms g ~parts)
     in
     (out, phases, st)
+
+  let screen_tally g ~root ~sums ~mins =
+    let n = Graph.n g in
+    let (s, m, reached), st =
+      with_serial g ~parent:(Array.make n (-1)) ~root (fun comms ->
+          screen_tally_core comms g ~root ~sums ~mins)
+    in
+    (s, m, reached, st)
 
   let reroot g lv ~new_root =
     let tk = tk_of_view lv in

@@ -178,6 +178,24 @@ val spanning_forest :
     Returns (parent, depth, fragment id), the number of Borůvka phases
     (O(log n)) and the measured statistics. *)
 
+val screen_tally :
+  ?trace:Repro_trace.Trace.t ->
+  Graph.t ->
+  root:int ->
+  sums:int array array ->
+  mins:int array array ->
+  int array * int array * int * stats
+(** Screening collective (input screen, Levi–Medina–Ron spirit),
+    executed: one BFS flood from [root] (doubling as the connectivity
+    probe and the communication tree), then the per-vertex [sums] /
+    [mins] rows ride the slots of one part-wise Sum and one part-wise
+    Min pipeline over the whole graph — Õ(D) total.  Returns the
+    per-row Sum results, the per-row Min results, the number of vertices
+    the flood reached, and the measured statistics.  When the flood
+    reaches fewer than [n] vertices the aggregations are skipped and the
+    result rows are empty-valued zeros (the reach count already decides
+    the verdict). *)
+
 val reroot :
   ?trace:Repro_trace.Trace.t ->
   Graph.t ->
@@ -260,6 +278,13 @@ module Reference : sig
     ?parts:int array ->
     unit ->
     (int array * int array * int array) * int * stats
+
+  val screen_tally :
+    Graph.t ->
+    root:int ->
+    sums:int array array ->
+    mins:int array array ->
+    int array * int array * int * stats
 
   val reroot :
     Graph.t -> local_view -> new_root:int -> (int array * int array) * stats

@@ -158,6 +158,7 @@ let build_frontier ?rounds ?pool ~trim ~backend ~small_part_cutoff
 let build ?rounds ?pool ?(piece_target = 20) ?(trim = true) ?backend
     ?small_part_cutoff ?small_backend emb =
   if piece_target < 1 then invalid_arg "Decomposition.build: piece_target >= 1";
+  Screen.require ?rounds ~entry:"Decomposition.build" emb;
   let backend, small_backend = resolve_backends ?backend ?small_backend () in
   build_frontier ?rounds ?pool ~trim ~backend ~small_part_cutoff ~small_backend
     ~stop:(fun members -> Array.length members <= piece_target)
@@ -290,6 +291,7 @@ let bounded_diameter ?rounds ?pool ?(trim = true) ?backend ?small_part_cutoff
     ?small_backend ~diameter_target emb =
   if diameter_target < 1 then
     invalid_arg "Decomposition.bounded_diameter: target >= 1";
+  Screen.require ?rounds ~entry:"Decomposition.bounded_diameter" emb;
   let g = Embedded.graph emb in
   let backend, small_backend = resolve_backends ?backend ?small_backend () in
   build_frontier ?rounds ?pool ~trim ~backend ~small_part_cutoff ~small_backend

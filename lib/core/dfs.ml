@@ -43,6 +43,7 @@ let run ?rounds ?(spanning = Repro_tree.Spanning.Bfs) ?pool ?backend
   let g = Embedded.graph emb in
   let n = Graph.n g in
   Graph.check_vertex g root;
+  Screen.require ?rounds ~entry:"Dfs.run" emb;
   (* Per-component backend dispatch mirrors Decomposition: components at
      or below the cutoff go to the centralized fast path. *)
   let backend =

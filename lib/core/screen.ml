@@ -1,0 +1,296 @@
+(* Hostile-input screening (see screen.mli for the contract).
+
+   The checks run cheapest-first so a corrupted instance pays as little
+   as possible before dying: rotation closure and the Euler bound are
+   pure local scans folded into one aggregate, connectivity is the BFS
+   the pipeline would run anyway, and only a structurally sound instance
+   reaches the face-walk tier.  The witness election is one-sided in the
+   Levi–Medina–Ron sense: a flag is always a proof (in a plane graph an
+   edge lies on one face iff it is a bridge, so a non-bridge edge with
+   both darts on the same walk cannot be planar), while a genus failure
+   with no such edge is still a rejection, just without the single-edge
+   certificate. *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_congest
+
+type reason =
+  | Disconnected of { components : int; witness : int }
+  | Euler_bound of { n : int; m : int }
+  | Rotation_inconsistent of { vertex : int }
+  | Genus of { faces : int; expected : int }
+
+type witness = { edge : int * int; face_len : int }
+
+type verdict = Accepted | Rejected of reason | Flagged of witness
+
+exception
+  Rejected_input of { entry : string; verdict : verdict; spec : string }
+
+let charge_opt rounds f = match rounds with Some r -> f r | None -> ()
+let tracer rounds = Option.bind rounds Rounds.tracer
+let span rounds name f = Repro_trace.Trace.within (tracer rounds) name f
+
+(* ---- tier 1: structure ------------------------------------------------ *)
+
+(* The rotation store validates at [of_orders] time, but hostile
+   instances are built through [induced]-style raw paths on purpose, so
+   re-establish permutation closure here: every rotation row must be a
+   permutation of its CSR adjacency row and the position index must
+   round-trip. *)
+let rotation_violation g rot =
+  let n = Graph.n g in
+  let bad = ref (-1) in
+  (try
+     for v = 0 to n - 1 do
+       let deg = Graph.degree g v in
+       if Rotation.degree rot v <> deg then begin
+         bad := v;
+         raise Exit
+       end;
+       let sorted = Array.init deg (Rotation.nth rot v) in
+       Array.sort compare sorted;
+       if sorted <> Graph.neighbors g v then begin
+         bad := v;
+         raise Exit
+       end;
+       for i = 0 to deg - 1 do
+         let u = Rotation.nth rot v i in
+         if Rotation.position rot v u <> i then begin
+           bad := v;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  if !bad < 0 then None else Some !bad
+
+let structural_reason g rot ~outer =
+  match rotation_violation g rot with
+  | Some vertex -> Some (Rotation_inconsistent { vertex })
+  | None ->
+    let n = Graph.n g and m = Graph.m g in
+    if n >= 3 && m > (3 * n) - 6 then Some (Euler_bound { n; m })
+    else begin
+      let comp, count = Algo.components g in
+      if count <= 1 then None
+      else begin
+        let home = comp.(outer) in
+        let witness = ref (-1) in
+        (try
+           for v = 0 to n - 1 do
+             if comp.(v) <> home then begin
+               witness := v;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Some (Disconnected { components = count; witness = !witness })
+      end
+    end
+
+(* ---- tier 2: planarity ------------------------------------------------ *)
+
+let dart g u v = Graph.adj_offset g u + Graph.neighbor_rank g u v
+
+(* One pass over the face walks: the face count, plus every edge whose
+   two darts land on the same walk, tagged with the walk length and
+   keyed (deterministically) by the edge's smaller dart id.  [stamp] is
+   a flat walk-id mark per canonical dart, so the scan stays
+   allocation-light at bench sizes. *)
+let face_scan g rot =
+  let faces = ref 0 in
+  let cands = ref [] in
+  let stamp = Array.make (max 1 (2 * Graph.m g)) (-1) in
+  Rotation.iter_faces g rot (fun walk ->
+      let id = !faces in
+      incr faces;
+      let len = List.length walk in
+      List.iter
+        (fun (a, b) ->
+          let key = min (dart g a b) (dart g b a) in
+          if stamp.(key) = id then
+            cands := ((min a b, max a b), key, len) :: !cands
+          else stamp.(key) <- id)
+        walk);
+  ( !faces,
+    List.sort (fun (_, k1, _) (_, k2, _) -> compare k1 k2) !cands )
+
+(* Bridge edges by iterative Tarjan lowlink (explicit stack: hostile
+   instances reach bench sizes where recursion would blow the stack).
+   Returns a per-dart flag array indexed by [dart g u v]. *)
+let bridge_darts g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let next = Array.make n 0 in
+  let is_bridge = Array.make (max 1 (2 * Graph.m g)) false in
+  let time = ref 0 in
+  for s = 0 to n - 1 do
+    if disc.(s) < 0 then begin
+      let stack = ref [ s ] in
+      disc.(s) <- !time;
+      low.(s) <- !time;
+      incr time;
+      while !stack <> [] do
+        let v = List.hd !stack in
+        if next.(v) < Graph.degree g v then begin
+          let u = Graph.nth_neighbor g v next.(v) in
+          next.(v) <- next.(v) + 1;
+          if disc.(u) < 0 then begin
+            parent.(u) <- v;
+            disc.(u) <- !time;
+            low.(u) <- !time;
+            incr time;
+            stack := u :: !stack
+          end
+          else if u <> parent.(v) then low.(v) <- min low.(v) disc.(u)
+        end
+        else begin
+          stack := List.tl !stack;
+          match !stack with
+          | p :: _ when parent.(v) = p ->
+            low.(p) <- min low.(p) low.(v);
+            if low.(v) > disc.(p) then begin
+              is_bridge.(dart g p v) <- true;
+              is_bridge.(dart g v p) <- true
+            end
+          | _ -> ()
+        end
+      done
+    end
+  done;
+  is_bridge
+
+(* ---- verdict ----------------------------------------------------------- *)
+
+let check ?rounds emb =
+  span rounds "screen" @@ fun () ->
+  let g = Embedded.graph emb in
+  let rot = Embedded.rot emb in
+  let structural =
+    span rounds "screen.structure" @@ fun () ->
+    (* Degree sum, rotation-closure flag and BFS reach ride the slots
+       of one aggregation over the communication tree: O(D). *)
+    charge_opt rounds (fun r -> Rounds.charge_aggregate r "screen-structure");
+    structural_reason g rot ~outer:(Embedded.outer emb)
+  in
+  match structural with
+  | Some reason -> Rejected reason
+  | None ->
+    span rounds "screen.planarity" @@ fun () ->
+    (* Face tallies need the rotation known along the walks — priced as
+       one embedding broadcast — and the count / witness election is
+       one more aggregation: Õ(D) total. *)
+    charge_opt rounds (fun r ->
+        Rounds.charge_embedding r;
+        Rounds.charge_aggregate r "screen-planarity");
+    let n = Graph.n g and m = Graph.m g in
+    if m = 0 then Accepted (* connected with no edges: a single vertex *)
+    else begin
+      let faces, cands = face_scan g rot in
+      let expected = 2 - n + m in
+      if faces = expected then Accepted
+      else begin
+        let is_bridge = bridge_darts g in
+        let flag =
+          List.find_opt (fun (_, key, _) -> not is_bridge.(key)) cands
+        in
+        match flag with
+        | Some (edge, _, face_len) -> Flagged { edge; face_len }
+        | None -> Rejected (Genus { faces; expected })
+      end
+    end
+
+let accepted = function Accepted -> true | _ -> false
+
+let verdict_to_string = function
+  | Accepted -> "accepted"
+  | Rejected (Disconnected { components; witness }) ->
+    Printf.sprintf "rejected: disconnected (%d components; vertex %d unreachable)"
+      components witness
+  | Rejected (Euler_bound { n; m }) ->
+    Printf.sprintf "rejected: too many edges for a planar graph (n=%d, m=%d > 3n-6=%d)"
+      n m ((3 * n) - 6)
+  | Rejected (Rotation_inconsistent { vertex }) ->
+    Printf.sprintf
+      "rejected: rotation at vertex %d is not a permutation of its adjacency"
+      vertex
+  | Rejected (Genus { faces; expected }) ->
+    Printf.sprintf "rejected: Euler's formula fails (%d faces, planar needs %d)"
+      faces expected
+  | Flagged { edge = u, v; face_len } ->
+    Printf.sprintf
+      "flagged: edge %d-%d is not a bridge yet both darts share one face walk (length %d)"
+      u v face_len
+
+let require ?rounds ?spec ~entry emb =
+  match check ?rounds emb with
+  | Accepted -> ()
+  | verdict ->
+    let spec = match spec with Some s -> s | None -> Embedded.name emb in
+    raise (Rejected_input { entry; verdict; spec })
+
+(* ---- independent witness validation ------------------------------------ *)
+
+let witness_certifies emb { edge = u, v; face_len = _ } =
+  let g = Embedded.graph emb in
+  let rot = Embedded.rot emb in
+  let n = Graph.n g in
+  if u < 0 || v < 0 || u >= n || v >= n || not (Graph.mem_edge g u v) then
+    false
+  else begin
+    let same_walk = ref false in
+    let key = min (dart g u v) (dart g v u) in
+    let other = max (dart g u v) (dart g v u) in
+    Rotation.iter_faces g rot (fun walk ->
+        let hit_min = ref false and hit_max = ref false in
+        List.iter
+          (fun (a, b) ->
+            let d = dart g a b in
+            if d = key then hit_min := true;
+            if d = other then hit_max := true)
+          walk;
+        if !hit_min && !hit_max then same_walk := true);
+    !same_walk && not (bridge_darts g).(dart g u v)
+  end
+
+(* ---- local tallies for the CONGEST collective -------------------------- *)
+
+let no_violation emb = 2 * Graph.m (Embedded.graph emb)
+
+let local_tallies emb =
+  let g = Embedded.graph emb in
+  let rot = Embedded.rot emb in
+  let n = Graph.n g in
+  let deg = Array.init n (Graph.degree g) in
+  let leader = Array.make n 0 in
+  let sentinel = no_violation emb in
+  let viol = Array.make n sentinel in
+  (* Attribute each face walk to the tail of its minimal dart, so the
+     leadership column sums to the face count. *)
+  Rotation.iter_faces g rot (fun walk ->
+      let best = ref max_int and tail = ref (-1) in
+      List.iter
+        (fun (a, b) ->
+          let d = dart g a b in
+          if d < !best then begin
+            best := d;
+            tail := a
+          end)
+        walk;
+      if !tail >= 0 then leader.(!tail) <- leader.(!tail) + 1);
+  if Graph.m g > 0 then begin
+    let _, cands = face_scan g rot in
+    let is_bridge = bridge_darts g in
+    List.iter
+      (fun ((u, v), key, _) ->
+        if not is_bridge.(key) then begin
+          let holder = min u v in
+          viol.(holder) <- min viol.(holder) key
+        end)
+      cands
+  end;
+  ([| deg; leader |], [| viol |])

@@ -449,9 +449,10 @@ let find ?rounds cfg =
         (match result with
         | Some r -> finish r
         | None ->
-          (* Safety net: should be unreachable if Lemma 1 holds; the bench
-             harness reports how often candidates beyond the paper's order
-             fire (it never observed this branch). *)
+          (* Safety net: reached when the bounded sweeps miss (the even
+             window sample of [crossing_leaves] can skip the only balanced
+             hit — observed on tgrid 100x100 seed 3) or no face border
+             balances at all. *)
           let fallback =
             span rounds "sep.fallback" @@ fun () ->
             first_some
@@ -474,6 +475,35 @@ let find ?rounds cfg =
                            try_path ?rounds cfg ver tried ~batch:"fallback"
                              ~phase:"fallback-face" ~closing:(Some (u, v))
                              (u, v))));
+                (fun () ->
+                  (* Exhaustive root-anchored leaf sweep: a root-to-leaf
+                     path encloses pi_left(t) + 1 nodes on one side, so
+                     ordering ALL tree leaves by how close that side is to
+                     n/2 probes the most balanced candidates first.  The
+                     probes ride the fallback batch's running aggregate
+                     (one charged collective however many leaves are
+                     tried), and unlike the Phase-4/5 sweeps nothing is
+                     sampled away — this is the completeness backstop for
+                     the bounded [crossing_leaves] window. *)
+                  charge_opt rounds (fun r ->
+                      Rounds.charge_aggregate r "fallback-leaf-sweep");
+                  let pi = Rooted.pi_left tree in
+                  let leaves = ref [] in
+                  for v = 0 to n - 1 do
+                    if Rooted.is_leaf tree v then leaves := v :: !leaves
+                  done;
+                  let arr = Array.of_list !leaves in
+                  Array.sort
+                    (fun a b ->
+                      compare
+                        (abs ((2 * (pi a + 1)) - n), pi a)
+                        (abs ((2 * (pi b + 1)) - n), pi b))
+                    arr;
+                  first_some
+                    (Array.to_list arr
+                    |> List.map (fun t () ->
+                           try_path ?rounds cfg ver tried ~batch:"fallback"
+                             ~phase:"fallback-leaf" ~closing:None (root, t))));
               ]
           in
           (match fallback with
@@ -555,6 +585,7 @@ let shrink ?rounds cfg path =
    its most expensive part, not the sum.  Per-part ledgers are merged in
    part order; the output is independent of pool scheduling. *)
 let find_partition ?rounds ?pool emb ~parts =
+  Screen.require ?rounds ~entry:"Separator.find_partition" emb;
   let tasks = Array.of_list (List.map Array.of_list parts) in
   let cost = Array.fold_left (fun a m -> a + Array.length m) 0 tasks in
   (* The batch span covers both the (possibly parallel) per-part runs and

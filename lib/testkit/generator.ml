@@ -50,6 +50,27 @@ let spec ?(families = Instance.families) ~size rng =
     spanning = spanning_kind rng;
   }
 
+(* Near-planar adversarial generators (the hostile counterpart of [spec]):
+   re-exported from Instance, where the builders live next to the other
+   testkit-only family constructions, so callers reach the whole
+   adversarial pool through this module. *)
+let hostile_families = Instance.hostile_families
+let planar_plus_chords = Instance.planar_plus_chords
+let corrupted_rotation = Instance.corrupted_rotation
+let disconnected_union = Instance.disconnected_union
+
+let hostile_spec ?(families = Instance.hostile_families) ~size rng =
+  let family = oneof families rng in
+  let lo = Instance.min_size family in
+  let jitter = max 1 (size / 4) in
+  let n = max lo (size + Rng.int rng (2 * jitter) - jitter) in
+  {
+    Instance.family;
+    n;
+    seed = Rng.int rng 100_000;
+    spanning = spanning_kind rng;
+  }
+
 let connected_parts g ~parts rng =
   let n = Graph.n g in
   let k = max 1 (min parts n) in

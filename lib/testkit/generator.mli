@@ -31,6 +31,23 @@ val spanning_kind : Spanning.kind t
 val spec : ?families:string list -> size:int -> Instance.spec t
 (** An instance spec of roughly the given size. *)
 
+val hostile_families : string list
+(** The near-planar adversarial families ([Instance.hostile_families]). *)
+
+val hostile_spec : ?families:string list -> size:int -> Instance.spec t
+(** Like {!spec} but drawn from the hostile pool: chorded, corrupted-
+    rotation and disconnected instances the Screen layer must reject. *)
+
+val planar_plus_chords : seed:int -> n:int -> k:int -> Repro_embedding.Embedded.t
+(** Planar grid plus [k] chords spliced into the rotations at random
+    positions: tier-1 clean but non-planar (retries until Euler breaks). *)
+
+val corrupted_rotation : seed:int -> n:int -> Repro_embedding.Embedded.t
+(** Grid with two rotation entries swapped at one degree->=3 vertex. *)
+
+val disconnected_union : seed:int -> n:int -> Repro_embedding.Embedded.t
+(** Two grids with no connecting edge. *)
+
 val connected_parts : Graph.t -> parts:int -> int list list t
 (** Random partition of a connected graph into at most [parts] connected,
     non-empty parts (multi-source BFS regions grown from random seeds). *)

@@ -33,6 +33,15 @@ val families : string list
     testkit-only [chords] (cycle with random non-crossing chords) and
     [caterpillar]. *)
 
+val hostile_families : string list
+(** Near-planar adversarial families the Screen layer must reject or
+    flag: [xchords1]/[xchords4]/[xchords16] (planar grid plus k random
+    chords spliced into the rotations), [xrot] (one corrupted rotation)
+    and [xunion] (two disconnected grids).  Deliberately NOT in
+    {!families}: only the [screen] oracle is defined on hostile input. *)
+
+val is_hostile : string -> bool
+
 val min_size : string -> int
 (** Smallest [n] the family accepts (shrinking floor). *)
 
@@ -41,8 +50,31 @@ val chorded_cycle : seed:int -> n:int -> Embedded.t
     with vertices in convex position so the rotation system is the
     straight-line one. *)
 
+val planar_plus_chords : seed:int -> n:int -> k:int -> Embedded.t
+(** Planar grid plus [k] random chords, each spliced into both endpoint
+    rotations at a random position: tier-1 clean (the rotations stay
+    permutations) but non-planar.  Retries draws until Euler's formula
+    actually breaks; deterministic from [(seed, n, k)]. *)
+
+val corrupted_rotation : seed:int -> n:int -> Embedded.t
+(** A planar grid whose rotation at one vertex (degree >= 3) has two
+    entries swapped — still a permutation of the adjacency, but the face
+    walks no longer close a genus-0 surface. *)
+
+val disconnected_union : seed:int -> n:int -> Embedded.t
+(** Two grids with no edge between them: per-component structure is
+    planar, only the connectivity screen catches it. *)
+
+val hostile_embedded : spec -> Embedded.t
+(** Dispatch over {!hostile_families}; raises [Invalid_argument] on a
+    clean family. *)
+
 val build : spec -> t
-(** Deterministic: equal specs build bit-identical instances. *)
+(** Deterministic: equal specs build bit-identical instances.  On a
+    hostile family, [emb] is the hostile embedding and [config] is a
+    placeholder built from a clean grid of the same size (configurations
+    are undefined on corrupted input; only the [screen] oracle reads
+    hostile instances). *)
 
 val spanning_name : Spanning.kind -> string
 val spanning_of_name : string -> Spanning.kind

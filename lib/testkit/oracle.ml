@@ -951,6 +951,103 @@ let run_backend (inst : Instance.t) =
   finish ~name:"backend" ctx
 
 (* ------------------------------------------------------------------ *)
+(* 11. "screen": hostile-input screening — clean instances Accepted    *)
+(*     with the executed CONGEST tally agreeing with the host census   *)
+(*     and the charges pinned Õ(D); hostile instances (fuzzed directly *)
+(*     or derived here from the spec seed) Rejected/Flagged with an    *)
+(*     independently verified witness before any separator phase runs. *)
+(* ------------------------------------------------------------------ *)
+
+let screen_hostile ctx ~tag emb =
+  let verdict = Screen.check emb in
+  ck ctx (tag ^ ": hostile verdict is not Accepted")
+    (not (Screen.accepted verdict));
+  (match verdict with
+  | Screen.Flagged w ->
+    ck ctx (tag ^ ": flag witness certifies") (Screen.witness_certifies emb w)
+  | _ -> ());
+  (* The entry guard dies before any separator phase: Decomposition.build
+     must raise the typed rejection, never reach No_separator_found. *)
+  ck ctx (tag ^ ": entry guard raises before separator phases")
+    (match Decomposition.build emb with
+    | _ -> false
+    | exception Screen.Rejected_input { verdict = v; _ } -> v = verdict
+    | exception _ -> false);
+  (* The verdict line is the replay handle: stable and non-empty. *)
+  ck ctx (tag ^ ": verdict prints")
+    (String.length (Screen.verdict_to_string verdict) > 0)
+
+let run_screen (inst : Instance.t) =
+  let ctx = ctx_create () in
+  let emb = inst.Instance.emb in
+  let g = Embedded.graph emb in
+  let n = Graph.n g in
+  let spec = inst.spec in
+  (* Every instance — clean or hostile — replays from its one-line spec. *)
+  ck ctx "spec round-trips"
+    (Instance.of_string (Instance.to_string spec) = spec);
+  if Instance.is_hostile spec.Instance.family then begin
+    screen_hostile ctx ~tag:spec.Instance.family emb;
+    (* The hostile build is deterministic: replaying the spec reproduces
+       the embedding bit-identically. *)
+    let e2 = Instance.hostile_embedded spec in
+    ck ctx "hostile build deterministic"
+      (Graph.edges (Embedded.graph e2) = Graph.edges g
+      && Array.for_all
+           (fun v ->
+             Rotation.order (Embedded.rot e2) v = Rotation.order (Embedded.rot emb) v)
+           (Array.init n Fun.id))
+  end
+  else begin
+    let d = max 1 (Algo.diameter g) in
+    let ledger = Rounds.create ~n ~d () in
+    let verdict = Screen.check ~rounds:ledger emb in
+    ck ctx
+      (Printf.sprintf "clean instance accepted (%s)"
+         (Screen.verdict_to_string verdict))
+      (Screen.accepted verdict);
+    ck ctx "verdict deterministic" (Screen.check emb = verdict);
+    (* Charge pins: one structure aggregate, one embedding broadcast, one
+       planarity aggregate — flat Õ(D), independent of n. *)
+    ck ctx "screen-structure charged exactly once"
+      (Rounds.label_invocations ledger "screen-structure" = 1);
+    ck ctx "screen-planarity charged exactly once"
+      (Rounds.label_invocations ledger "screen-planarity" = 1);
+    ck ctx
+      (Printf.sprintf "ledger invocations %d <= 4" (Rounds.invocations ledger))
+      (Rounds.invocations ledger <= 4);
+    bud ctx "charged rounds"
+      (int_of_float (Rounds.total ledger))
+      (int_of_float (4.0 *. Rounds.pa_cost ledger));
+    (* Executed differential: the CONGEST tally must reproduce the host
+       census — reach all of the graph, sum the degrees to 2m, count the
+       faces, and elect no violating edge. *)
+    let sums, mins = Screen.local_tallies emb in
+    let s, mn, reached, st =
+      Composed.screen_tally g ~root:(Embedded.outer emb) ~sums ~mins
+    in
+    ck ctx "tally reaches the whole graph" (reached = n);
+    ck ctx "degree census = 2m" (s.(0) = 2 * Graph.m g);
+    ck ctx "face-leader census = face count"
+      (s.(1) = Rotation.count_faces g (Embedded.rot emb));
+    ck ctx "no violating edge elected" (mn.(0) = Screen.no_violation emb);
+    bud ctx "screen tally" st.Composed.rounds ((16 * (d + 8)) + 64);
+    (* Derived hostile variants from the same seed: the default fuzz pool
+       is all-clean, so each clean case also proves the screen rejects
+       its own corrupted siblings. *)
+    if n >= 9 then begin
+      let seed = spec.Instance.seed in
+      screen_hostile ctx ~tag:"derived xchords1"
+        (Instance.planar_plus_chords ~seed ~n ~k:1);
+      screen_hostile ctx ~tag:"derived xrot"
+        (Instance.corrupted_rotation ~seed ~n);
+      screen_hostile ctx ~tag:"derived xunion"
+        (Instance.disconnected_union ~seed ~n)
+    end
+  end;
+  finish ~name:"screen" ctx
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1058,5 +1155,10 @@ let () =
         name = "backend";
         guards = "backend registry conformance (congest / lt-level / hn-cycle)";
         run = run_backend;
+      };
+      {
+        name = "screen";
+        guards = "hostile-input screening (verdicts, witnesses, entry guards)";
+        run = run_screen;
       };
     ]

@@ -31,4 +31,5 @@ let () =
          Test_parallel.suites;
          Test_testkit.suites;
          Test_trace.suites;
+         Test_screen.suites;
        ])

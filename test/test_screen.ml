@@ -1,0 +1,246 @@
+(* The hostile-input screen: verdict round-trips on every hostile family,
+   reason coverage for each rejection variant, witness minimality under
+   the greedy shrinker, jobs=1 vs jobs=N bit-identity of screening
+   ledgers/traces, typed rejections at every screened library entry, and
+   the CLI exit-code contract (sep/dfs/bdd exit 3 with the replay spec). *)
+
+open Repro_graph
+open Repro_embedding
+open Repro_congest
+open Repro_core
+open Repro_testkit
+module Trace = Repro_trace.Trace
+
+let build family ~n ~seed =
+  Instance.build { Instance.family; n; seed; spanning = Repro_tree.Spanning.Bfs }
+
+(* --- verdicts -------------------------------------------------------- *)
+
+let test_clean_families_accepted () =
+  List.iter
+    (fun family ->
+      let inst = build family ~n:40 ~seed:7 in
+      Alcotest.(check bool)
+        (family ^ " accepted")
+        true
+        (Screen.accepted (Screen.check inst.Instance.emb)))
+    Instance.families
+
+let test_hostile_families_rejected () =
+  List.iter
+    (fun family ->
+      let inst = build family ~n:64 ~seed:2 in
+      let emb = inst.Instance.emb in
+      let v = Screen.check emb in
+      Alcotest.(check bool) (family ^ " not accepted") false (Screen.accepted v);
+      Alcotest.(check bool)
+        (family ^ " verdict deterministic")
+        true
+        (Screen.check emb = v);
+      Alcotest.(check bool)
+        (family ^ " verdict prints")
+        true
+        (String.length (Screen.verdict_to_string v) > 0);
+      (match v with
+      | Screen.Flagged w ->
+        Alcotest.(check bool)
+          (family ^ " witness certifies")
+          true (Screen.witness_certifies emb w)
+      | _ -> ());
+      (* The embedding's name is the replay spec: parsing it back yields
+         the same hostile instance, bit-identically. *)
+      let spec = inst.Instance.spec in
+      Alcotest.(check bool)
+        (family ^ " spec round-trips")
+        true
+        (Instance.of_string (Instance.to_string spec) = spec);
+      let e2 = Instance.hostile_embedded spec in
+      Alcotest.(check bool)
+        (family ^ " hostile build deterministic")
+        true
+        (Graph.edges (Embedded.graph e2) = Graph.edges (Embedded.graph emb)))
+    Instance.hostile_families
+
+(* One test per rejection reason, on inputs engineered to hit it. *)
+let test_reason_coverage () =
+  (* Disconnected: two grids, no connecting edge. *)
+  (match Screen.check (Instance.disconnected_union ~seed:1 ~n:32) with
+  | Screen.Rejected (Screen.Disconnected { components; witness }) ->
+    Alcotest.(check bool) "2+ components" true (components >= 2);
+    Alcotest.(check bool) "witness in second grid" true (witness >= 0)
+  | v -> Alcotest.failf "xunion: %s" (Screen.verdict_to_string v));
+  (* Euler bound: K6 has m = 15 > 3n - 6 = 12 (rotation = plain adjacency
+     order, a valid permutation, so only the edge count trips). *)
+  let k6_edges = ref [] in
+  for u = 0 to 5 do
+    for v = u + 1 to 5 do
+      k6_edges := (u, v) :: !k6_edges
+    done
+  done;
+  let k6 = Graph.of_edges ~n:6 !k6_edges in
+  let emb_k6 = Embedded.make ~name:"k6" k6 (Rotation.of_adjacency k6) in
+  (match Screen.check emb_k6 with
+  | Screen.Rejected (Screen.Euler_bound { n; m }) ->
+    Alcotest.(check int) "n" 6 n;
+    Alcotest.(check int) "m" 15 m
+  | v -> Alcotest.failf "k6: %s" (Screen.verdict_to_string v));
+  (* Rotation inconsistency: a rotation built for a different graph. *)
+  let tri = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  let path = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let emb_bad = Embedded.make ~name:"bad-rot" tri (Rotation.of_adjacency path) in
+  (match Screen.check emb_bad with
+  | Screen.Rejected (Screen.Rotation_inconsistent { vertex }) ->
+    Alcotest.(check bool) "vertex in range" true (vertex >= 0 && vertex < 3)
+  | v -> Alcotest.failf "bad-rot: %s" (Screen.verdict_to_string v));
+  (* Flagged: a planted chord is elected as a single-edge witness. *)
+  match Screen.check (Instance.planar_plus_chords ~seed:3 ~n:49 ~k:1) with
+  | Screen.Flagged w ->
+    Alcotest.(check bool)
+      "chord witness certifies" true
+      (Screen.witness_certifies (Instance.planar_plus_chords ~seed:3 ~n:49 ~k:1) w)
+  | v -> Alcotest.failf "xchords1: %s" (Screen.verdict_to_string v)
+
+(* --- witness minimality under the greedy shrinker -------------------- *)
+
+let hostile_prop =
+  {
+    Oracle.name = "screen-hostile";
+    guards = "test-only: fails whenever the screen accepts nothing";
+    run =
+      (fun inst ->
+        let v = Screen.check inst.Instance.emb in
+        {
+          Oracle.oracle = "screen-hostile";
+          ok = Screen.accepted v;
+          detail = Screen.verdict_to_string v;
+          rounds = 0;
+          budget = max_int;
+          checks = 1;
+        });
+  }
+
+let test_witness_minimal_under_shrink () =
+  let spec =
+    { Instance.family = "xchords4"; n = 64; seed = 9;
+      spanning = Repro_tree.Spanning.Random 3 }
+  in
+  let shrunk, steps = Runner.shrink ~oracles:[ hostile_prop ] spec in
+  Alcotest.(check bool) "shrink made progress" true (steps > 0);
+  Alcotest.(check string) "family preserved" "xchords4" shrunk.Instance.family;
+  (* Every hostile build fails the property, so the greedy descent must
+     reach the family's size floor and the simplest spanning kind. *)
+  Alcotest.(check int) "shrunk to the size floor"
+    (Instance.min_size "xchords4") shrunk.Instance.n;
+  Alcotest.(check bool) "spanning simplified" true
+    (shrunk.Instance.spanning = Repro_tree.Spanning.Bfs);
+  (* The minimal counterexample still carries a certified witness. *)
+  let inst = Instance.build shrunk in
+  (match Screen.check inst.Instance.emb with
+  | Screen.Flagged w ->
+    Alcotest.(check bool) "minimal witness certifies" true
+      (Screen.witness_certifies inst.Instance.emb w)
+  | Screen.Rejected _ -> ()
+  | Screen.Accepted -> Alcotest.fail "shrunk spec no longer hostile")
+
+(* --- screened entries raise typed rejections -------------------------- *)
+
+let test_entries_reject_before_phases () =
+  let inst = build "xchords1" ~n:32 ~seed:5 in
+  let emb = inst.Instance.emb in
+  let expect_entry name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: hostile input accepted" name
+    | exception Screen.Rejected_input { entry; verdict; spec } ->
+      Alcotest.(check string) (name ^ " entry") name entry;
+      Alcotest.(check bool) (name ^ " verdict hostile") false
+        (Screen.accepted verdict);
+      Alcotest.(check string) (name ^ " replay spec") "xchords1:32:5" spec
+  in
+  expect_entry "Dfs.run" (fun () -> Dfs.run emb ~root:0);
+  expect_entry "Decomposition.build" (fun () -> Decomposition.build emb);
+  expect_entry "Decomposition.bounded_diameter" (fun () ->
+      Decomposition.bounded_diameter ~diameter_target:8 emb);
+  expect_entry "Separator.find_partition" (fun () ->
+      Separator.find_partition emb
+        ~parts:[ List.init (Embedded.n emb) Fun.id ])
+
+(* --- jobs=1 vs jobs=N bit-identity of screening ledgers/traces -------- *)
+
+let screened_dfs ~jobs =
+  let emb = Gen.by_family ~seed:1 "grid" ~n:220 in
+  let g = Embedded.graph emb in
+  let tracer = Trace.create () in
+  let rounds =
+    Rounds.create ~trace:tracer ~n:(Graph.n g) ~d:(Algo.diameter g) ()
+  in
+  let r =
+    Repro_util.Pool.with_pool ~seq_grain:0 ~jobs (fun pool ->
+        Dfs.run ~rounds ~pool emb ~root:(Embedded.outer emb))
+  in
+  (tracer, rounds, r)
+
+let test_jobs_bit_identity () =
+  let t1, l1, r1 = screened_dfs ~jobs:1 in
+  let t4, l4, r4 = screened_dfs ~jobs:4 in
+  Alcotest.(check (array int)) "outputs identical" r1.Dfs.parent r4.Dfs.parent;
+  Alcotest.(check bool) "charged totals identical" true
+    (Rounds.total l1 = Rounds.total l4);
+  Alcotest.(check int) "screen-structure charges identical"
+    (Rounds.label_invocations l1 "screen-structure")
+    (Rounds.label_invocations l4 "screen-structure");
+  Alcotest.(check bool) "screening charged" true
+    (Rounds.label_invocations l1 "screen-structure" >= 1);
+  let m1 = Trace.to_metrics_string t1 and m4 = Trace.to_metrics_string t4 in
+  Alcotest.(check string) "metrics (incl. screen spans) bit-identical" m1 m4;
+  (* The screen spans are present and attributed. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "screen.structure span present" true
+    (contains m1 "screen.structure");
+  Alcotest.(check bool) "screen.planarity span present" true
+    (contains m1 "screen.planarity")
+
+(* --- CLI exit codes ---------------------------------------------------- *)
+
+(* Tests run from _build/default/test, next to the built CLI; the dune
+   test stanza depends on it.  Exit 3 is the screen-rejection code. *)
+let repro_exe = Filename.concat ".." (Filename.concat "bin" "main.exe")
+
+let cli cmdline =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" repro_exe cmdline)
+
+let test_cli_exit_codes () =
+  if not (Sys.file_exists repro_exe) then
+    Alcotest.skip ()
+  else begin
+    Alcotest.(check int) "sep rejects hostile input with exit 3" 3
+      (cli "sep --family xrot -n 64 --seed 2");
+    Alcotest.(check int) "dfs rejects hostile input with exit 3" 3
+      (cli "dfs --family xunion -n 64 --seed 2 --jobs 1");
+    Alcotest.(check int) "bdd rejects hostile input with exit 3" 3
+      (cli "bdd --family xchords1 -n 64 --seed 2 --by-size --jobs 1");
+    Alcotest.(check int) "sep accepts clean input" 0
+      (cli "sep --family grid -n 64 --seed 2")
+  end
+
+let suites =
+  Suite.make __MODULE__
+    [
+      Alcotest.test_case "clean families accepted" `Quick
+        test_clean_families_accepted;
+      Alcotest.test_case "hostile families rejected with replayable verdicts"
+        `Quick test_hostile_families_rejected;
+      Alcotest.test_case "each rejection reason reachable" `Quick
+        test_reason_coverage;
+      Alcotest.test_case "witness minimality under the greedy shrinker" `Quick
+        test_witness_minimal_under_shrink;
+      Alcotest.test_case "screened entries raise typed rejections" `Quick
+        test_entries_reject_before_phases;
+      Alcotest.test_case "jobs=1 and jobs=4 screening ledgers/traces identical"
+        `Quick test_jobs_bit_identity;
+      Alcotest.test_case "CLI exit codes (sep/dfs/bdd reject with 3)" `Quick
+        test_cli_exit_codes;
+    ]

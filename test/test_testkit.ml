@@ -72,7 +72,7 @@ let test_registry_names () =
     "built-ins in registration order"
     [
       "graph"; "engine"; "orders"; "collective"; "faces"; "pipeline";
-      "separator"; "join"; "dfs"; "forest"; "pool"; "backend";
+      "separator"; "join"; "dfs"; "forest"; "pool"; "backend"; "screen";
     ]
     (Oracle.names ());
   List.iter
