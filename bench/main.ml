@@ -1,4 +1,4 @@
-(* Benchmark harness: regenerates every experiment table (E1..E18) and figure
+(* Benchmark harness: regenerates every experiment table (E1..E19) and figure
    series (F1..F3) listed in DESIGN.md / EXPERIMENTS.md, plus bechamel
    micro-benchmarks of the core routines.
 
@@ -21,7 +21,7 @@ let section title = pf "\n######## %s ########\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable recording: every table printed by an experiment is  *)
-(* also captured, and the whole run is dumped to BENCH_7.json.          *)
+(* also captured, and the whole run is dumped to BENCH_8.json.          *)
 (* ------------------------------------------------------------------ *)
 
 (* Peak resident set size of this process, from the kernel's high-water
@@ -1753,6 +1753,133 @@ let e18 ~short () =
   pf " screened Decomposition.build on the same instance)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E19: separator-as-a-service — the serving engine under the         *)
+(* canonical load mix.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The same Workload.canonical mix drives three consumers — this
+   experiment (in-process), tools/loadgen.exe (over the socket) and the
+   serve-smoke CI job — and all three must produce the identical stats
+   document recorded here, because serve-smoke gates the daemon's
+   over-socket answer against this experiment's committed baseline.
+   Latency/qps columns are wall-clock (reported, not gated); the metrics
+   document holds only deterministic counters.  Deliberately identical in
+   --short and full mode. *)
+let e19 ~jobs ~short () =
+  ignore short;
+  section "E19  Separator-as-a-service: keyed cache + load latency";
+  pf "expected: misses = distinct cache keys of the mix (no eviction at\n";
+  pf " the canonical capacity), hits > 0 on the repeated-root mix, and a\n";
+  pf " serial replay reproduces the stats document bit-for-bit\n";
+  let module W = Repro_serve.Workload in
+  let module Engine = Repro_serve.Engine in
+  let module Json = Repro_trace.Json in
+  let emb =
+    Gen.by_family ~seed:W.canonical_seed W.canonical_family
+      ~n:W.canonical_n
+  in
+  let stats_request = Json.Obj [ ("op", Json.String "stats") ] in
+  let class_of = function
+    | W.Dfs _ -> "dfs"
+    | W.Separator _ -> "separator"
+    | W.Decompose _ -> "decompose"
+  in
+  let replay pool =
+    let engine = Engine.create ~pool emb in
+    let latencies = Hashtbl.create 4 in
+    let record cls dt =
+      match Hashtbl.find_opt latencies cls with
+      | Some l -> l := dt :: !l
+      | None -> Hashtbl.add latencies cls (ref [ dt ])
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun r ->
+        let w0 = Unix.gettimeofday () in
+        let resp = Engine.handle engine (W.to_json r) in
+        record (class_of r) (Unix.gettimeofday () -. w0);
+        match Json.member "ok" resp with
+        | Some (Json.Bool true) -> ()
+        | _ -> failwith ("e19: request failed: " ^ Json.to_string resp))
+      (W.canonical ());
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats = Engine.handle engine stats_request in
+    (stats, latencies, wall)
+  in
+  let stats, latencies, wall = Pool.with_pool ~jobs replay in
+  (* Serial replay on a fresh engine: the serving counters must be a pure
+     function of the request multiset — pool size and engine instance
+     must be invisible. *)
+  let stats2, _, _ = Pool.with_pool ~jobs:1 replay in
+  assert (Json.equal stats stats2);
+  record_metrics "load" stats;
+  let int_at path =
+    let rec go j = function
+      | [] -> ( match j with Some (Json.Int i) -> i | _ -> 0)
+      | k :: rest -> go (Option.bind j (Json.member k)) rest
+    in
+    go (Some stats) path
+  in
+  let t1 =
+    Table.create ~title:"E19a  service latency, canonical 120-request mix"
+      [ "class"; "count"; "mean (ms)"; "p50 (ms)"; "p99 (ms)" ]
+  in
+  Table.set_align t1 0 Table.Left;
+  let total = ref 0 in
+  List.iter
+    (fun cls ->
+      let samples =
+        match Hashtbl.find_opt latencies cls with
+        | Some l -> Array.of_list !l
+        | None -> [||]
+      in
+      let k = Array.length samples in
+      assert (k > 0);
+      total := !total + k;
+      let mean =
+        if k = 0 then 0.0
+        else Array.fold_left ( +. ) 0.0 samples /. float_of_int k
+      in
+      Table.add_row t1
+        [
+          cls;
+          Table.fmt_int k;
+          Table.fmt_float (1000.0 *. mean);
+          Table.fmt_float (1000.0 *. W.percentile samples 0.5);
+          Table.fmt_float (1000.0 *. W.percentile samples 0.99);
+        ])
+    [ "dfs"; "separator"; "decompose" ];
+  output t1;
+  pf "(%d requests in %.3fs — %.0f queries/sec in-process; the socket\n"
+    !total wall
+    (if wall > 0.0 then float_of_int !total /. wall else 0.0);
+  pf " numbers come from tools/loadgen.exe against bin/serve.exe)\n";
+  let hits = int_at [ "cache"; "hits" ]
+  and misses = int_at [ "cache"; "misses" ] in
+  assert (hits > 0);
+  let t2 =
+    Table.create ~title:"E19b  cache + deterministic serving counters"
+      [
+        "hits"; "misses"; "evictions"; "hit rate"; "errors";
+        "charged rounds (misses)";
+      ]
+  in
+  Table.add_row t2
+    [
+      Table.fmt_int hits;
+      Table.fmt_int misses;
+      Table.fmt_int (int_at [ "cache"; "evictions" ]);
+      Table.fmt_float (float_of_int hits /. float_of_int (hits + misses));
+      Table.fmt_int (int_at [ "requests"; "errors" ]);
+      (match Json.member "charged_rounds" stats with
+      | Some (Json.Float f) -> Table.fmt_float ~digits:0 f
+      | _ -> "-");
+    ];
+  output t2;
+  pf "(hits charge nothing: the cached tree is already at the server;\n";
+  pf " charged rounds sum the per-request ledgers of the misses only)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1798,12 +1925,12 @@ let micro () =
 
 let () =
   (* usage: main [--jobs N] [--short] [--out PATH] [experiment]
-     (experiment: e1..e18, f1..f3, micro; default all).  --short shrinks
+     (experiment: e1..e19, f1..f3, micro; default all).  --short shrinks
      instance sizes for the CI smoke run; --out overrides the JSON dump
-     path (default BENCH_7.json). *)
+     path (default BENCH_8.json). *)
   let jobs = ref (Pool.default_jobs ()) in
   let short = ref false in
-  let out = ref "BENCH_7.json" in
+  let out = ref "BENCH_8.json" in
   let only = ref None in
   let argc = Array.length Sys.argv in
   let i = ref 1 in
@@ -1856,6 +1983,7 @@ let () =
   run "e16" (e16 ~short:!short);
   run "e17" (e17 ~jobs:!jobs ~short:!short);
   run "e18" (e18 ~short:!short);
+  run "e19" (e19 ~jobs:!jobs ~short:!short);
   run "f3" (f3 ~short:!short);
   run "micro" micro;
   write_json ~path:!out ~jobs:!jobs ~timings:(List.rev !timings);

@@ -171,7 +171,7 @@ let conventions_cmd =
 
 let backend_arg =
   let doc =
-    "Separator backend to stress (congest, lt-level, hn-cycle, or any \
+    "Separator backend to stress (congest, lt-level, hn-cycle, random-sep, or any \
      client-registered name)."
   in
   Arg.(value & opt string "congest" & info [ "backend" ] ~docv:"NAME" ~doc)

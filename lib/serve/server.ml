@@ -1,0 +1,84 @@
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* Pop the first complete line (without its newline) off a buffer. *)
+let pop_line buf =
+  let s = Buffer.contents buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear buf;
+    Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+    Some (String.sub s 0 i)
+
+let run ~socket ?max_requests ?(on_ready = fun () -> ()) engine =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 16;
+  on_ready ();
+  (* Clients kept in accept order (an explicit list, not a hashtable) so
+     the drain order below is reproducible. *)
+  let clients = ref [] in
+  let served = ref 0 in
+  let finished = ref false in
+  let limit_reached () =
+    match max_requests with Some k -> !served >= k | None -> false
+  in
+  let drop c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    clients := List.filter (fun c' -> c'.fd <> c.fd) !clients
+  in
+  let serve_ready_lines c =
+    let continue = ref true in
+    while !continue do
+      match pop_line c.buf with
+      | None -> continue := false
+      | Some line ->
+        if String.trim line <> "" then begin
+          let resp = Engine.handle_line engine line in
+          incr served;
+          (try write_all c.fd (resp ^ "\n")
+           with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+             drop c);
+          if Engine.shutdown_requested engine || limit_reached () then begin
+            finished := true;
+            continue := false
+          end
+        end
+    done
+  in
+  let chunk = Bytes.create 4096 in
+  while not !finished do
+    let fds = srv :: List.map (fun c -> c.fd) !clients in
+    let ready, _, _ = Unix.select fds [] [] 1.0 in
+    List.iter
+      (fun fd ->
+        if !finished then ()
+        else if fd = srv then begin
+          let cfd, _ = Unix.accept srv in
+          clients := !clients @ [ { fd = cfd; buf = Buffer.create 256 } ]
+        end
+        else
+          match List.find_opt (fun c -> c.fd = fd) !clients with
+          | None -> ()
+          | Some c -> (
+            match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> drop c
+            | k ->
+              Buffer.add_subbytes c.buf chunk 0 k;
+              serve_ready_lines c
+            | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop c))
+      ready
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  !served

@@ -1,0 +1,66 @@
+module Json = Repro_trace.Json
+module Rng = Repro_util.Rng
+
+type part = All | Piece of int | Vertices of int list
+
+type request =
+  | Dfs of { root : int }
+  | Separator of { part : part }
+  | Decompose of { piece : int }
+
+let default_piece_target = 24
+
+let part_to_json = function
+  | All -> Json.String "all"
+  | Piece i -> Json.String ("piece:" ^ string_of_int i)
+  | Vertices vs -> Json.List (List.map (fun v -> Json.Int v) vs)
+
+let to_json = function
+  | Dfs { root } ->
+    Json.Obj [ ("op", Json.String "dfs"); ("root", Json.Int root) ]
+  | Separator { part } ->
+    Json.Obj [ ("op", Json.String "separator"); ("part", part_to_json part) ]
+  | Decompose { piece } ->
+    Json.Obj [ ("op", Json.String "decompose"); ("piece", Json.Int piece) ]
+
+(* Root pool: 6 fixed vertices spread across the id range.  Small enough
+   that a 120-request mix revisits every root several times (the
+   repeated-root cache hits E19 measures), large enough to exercise
+   distinct DFS trees. *)
+let root_pool n = Array.init 6 (fun i -> (i + 1) * n / 8)
+
+let piece_targets = [| default_piece_target; 2 * default_piece_target |]
+
+let mix ~seed ~n ~count =
+  let rng = Rng.create seed in
+  let roots = root_pool n in
+  List.init count (fun _ ->
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 -> Dfs { root = Rng.pick rng roots }
+      | 5 | 6 | 7 ->
+        let k = Rng.int rng 5 in
+        Separator { part = (if k = 0 then All else Piece (k - 1)) }
+      | _ -> Decompose { piece = Rng.pick rng piece_targets })
+
+let canonical_family = "grid"
+let canonical_n = 1600
+let canonical_seed = 1
+let canonical_requests = 120
+let canonical_mix_seed = 0
+let canonical_cache_capacity = 64
+
+let canonical () =
+  mix ~seed:canonical_mix_seed ~n:canonical_n ~count:canonical_requests
+
+let percentile samples p =
+  let k = Array.length samples in
+  if k = 0 then 0.0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let rank =
+      int_of_float (Float.round (p *. float_of_int (k - 1)))
+      |> max 0 |> min (k - 1)
+    in
+    sorted.(rank)
+  end

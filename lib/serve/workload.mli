@@ -1,0 +1,51 @@
+(** Seed-deterministic request mixes for the serving layer.
+
+    One generator feeds three consumers — [tools/loadgen.exe] (over the
+    socket), bench E19 (in-process) and the serve-smoke CI job — so the
+    deterministic counters they produce (cache hits, charged rounds,
+    response hashes) are comparable across all three.  The canonical mix
+    below is the one committed into BENCH_8.json's E19 metrics document:
+    changing any [canonical_*] constant is a baseline change. *)
+
+type part =
+  | All  (** the whole loaded graph *)
+  | Piece of int  (** piece [i mod count] of the default decomposition *)
+  | Vertices of int list  (** an explicit connected vertex set *)
+
+type request =
+  | Dfs of { root : int }
+  | Separator of { part : part }
+  | Decompose of { piece : int }  (** piece-size target *)
+
+val to_json : request -> Repro_trace.Json.t
+(** The wire form the daemon parses, e.g.
+    [{"op":"separator","part":"piece:2"}]. *)
+
+val mix : seed:int -> n:int -> count:int -> request list
+(** [count] requests over a graph of [n] vertices: 50% DFS (roots drawn
+    from a fixed pool of 6, so repeats hit the cache), 30% separator
+    (whole graph or one of 4 decomposition pieces), 20% decompose (piece
+    target 24 or 48).  Pure function of [(seed, n, count)]. *)
+
+val default_piece_target : int
+(** Piece-size target of the decomposition that [Piece] parts index (24;
+    shared with the [Decompose] draw so the dependency is a cache hit). *)
+
+(** The canonical serving instance + mix: grid, n = 1600, generator seed
+    1, BFS tree, 120 requests from mix seed 0, cache capacity 64.  At
+    capacity 64 the mix's distinct keys (≤ 12) never evict, so the
+    hit/miss counters depend only on the request multiset — never on
+    client interleaving — and gate exactly in CI. *)
+
+val canonical_family : string
+
+val canonical_n : int
+val canonical_seed : int
+val canonical_requests : int
+val canonical_mix_seed : int
+val canonical_cache_capacity : int
+val canonical : unit -> request list
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile of an (unsorted) sample, [p] in [0, 1];
+    [0.0] on an empty sample.  Shared by loadgen and bench E19. *)

@@ -174,8 +174,7 @@ let rec aggregate_children spans =
   List.iter (fun a -> a.akids <- fold_aggs (List.rev a.akids)) merged;
   merged
 
-let aggregate t =
-  let root = t.root_span in
+let aggregate_span (root : span) =
   let a =
     {
       aname = root.name;
@@ -187,6 +186,8 @@ let aggregate t =
   in
   add_into ~into:a.aself root.self;
   a
+
+let aggregate t = aggregate_span t.root_span
 
 let pp fmt t =
   let rec go indent (a : agg) =
@@ -259,7 +260,7 @@ let to_chrome t =
         Json.Obj [ ("time_axis", Json.String "virtual-rounds") ] );
     ]
 
-let to_metrics t =
+let metrics_of_span s =
   let rec node (a : agg) =
     Json.Obj
       ([ ("name", Json.String a.aname); ("count", Json.Int a.count) ]
@@ -269,7 +270,9 @@ let to_metrics t =
           ("children", Json.List (List.map node (List.rev a.akids)));
         ])
   in
-  node (aggregate t)
+  node (aggregate_span s)
+
+let to_metrics t = metrics_of_span t.root_span
 
 let to_chrome_string t = Json.to_string (to_chrome t)
 let to_metrics_string t = Json.to_string (to_metrics t)

@@ -100,5 +100,10 @@ val to_metrics : t -> Json.t
 (** Machine-readable aggregated tree; deterministic, so the CI bench-diff
     gate compares it exactly. *)
 
+val metrics_of_span : span -> Json.t
+(** {!to_metrics} rooted at an arbitrary span — the request-scoped
+    metrics document: the serve daemon runs each query under its own
+    [serve.*] span and can return just that subtree to the client. *)
+
 val to_chrome_string : t -> string
 val to_metrics_string : t -> string

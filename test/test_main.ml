@@ -32,4 +32,5 @@ let () =
          Test_testkit.suites;
          Test_trace.suites;
          Test_screen.suites;
+         Test_serve.suites;
        ])

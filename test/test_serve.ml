@@ -1,0 +1,245 @@
+(* Serving layer: the LRU cache's determinism, the stats document's
+   round-trip through the metrics JSON, and the protocol's headline
+   contract — a concurrent 2-client replay over the socket returns
+   byte-identical responses to the serial in-process replay, because a
+   response is a pure function of (request, loaded graph). *)
+
+open Repro_embedding
+open Repro_serve
+module Json = Repro_trace.Json
+module Suite = Repro_testkit.Suite
+
+(* --- Cache ------------------------------------------------------------ *)
+
+let test_cache_lru_deterministic () =
+  let run () =
+    let c = Cache.create ~capacity:3 () in
+    let add k = ignore (Cache.find_or_add c k (fun () -> k)) in
+    add "a";
+    add "b";
+    add "c";
+    (* touch a: b becomes the LRU victim *)
+    add "a";
+    add "d";
+    (Cache.keys_lru_first c, Cache.hits c, Cache.misses c, Cache.evictions c)
+  in
+  let keys, hits, misses, evictions = run () in
+  Alcotest.(check (list string))
+    "eviction removed the LRU key (b), order is recency"
+    [ "c"; "a"; "d" ] keys;
+  Alcotest.(check int) "one hit (the re-touch of a)" 1 hits;
+  Alcotest.(check int) "four misses" 4 misses;
+  Alcotest.(check int) "one eviction" 1 evictions;
+  (* Bit-for-bit replay: recency is a logical tick, not a clock. *)
+  Alcotest.(check bool) "second replay identical" true (run () = (keys, hits, misses, evictions))
+
+let test_cache_miss_on_raise_not_inserted () =
+  let c = Cache.create ~capacity:2 () in
+  (match Cache.find_or_add c "boom" (fun () -> failwith "no") with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "failed compute not cached" false (Cache.mem c "boom");
+  Alcotest.(check int) "miss still counted" 1 (Cache.misses c)
+
+(* --- Engine (in-process) ---------------------------------------------- *)
+
+let small_engine ?tracer ?(n = 100) pool =
+  let emb = Gen.by_family ~seed:1 "grid" ~n in
+  Engine.create ?tracer ~pool emb
+
+let req_line r = Json.to_string (Workload.to_json r)
+
+let test_counters_roundtrip_metrics_json () =
+  Repro_util.Pool.with_pool ~jobs:1 @@ fun pool ->
+  let engine = small_engine pool in
+  (* Known access pattern: dfs:12 x3 (1 miss, 2 hits), decomp:24 x2
+     (1 miss, 1 hit). *)
+  List.iter
+    (fun r -> ignore (Engine.handle engine (Workload.to_json r)))
+    [
+      Workload.Dfs { root = 12 };
+      Workload.Dfs { root = 12 };
+      Workload.Decompose { piece = 24 };
+      Workload.Dfs { root = 12 };
+      Workload.Decompose { piece = 24 };
+    ];
+  (* Round-trip the document through its serialized form, as the daemon
+     ships it and loadgen re-parses it. *)
+  let stats = Json.of_string (Json.to_string (Engine.stats_json engine)) in
+  let int_at path =
+    let rec go j = function
+      | [] -> ( match j with Some (Json.Int i) -> i | _ -> -1)
+      | k :: rest -> go (Option.bind j (Json.member k)) rest
+    in
+    go (Some stats) path
+  in
+  Alcotest.(check int) "hits round-trip" 3 (int_at [ "cache"; "hits" ]);
+  Alcotest.(check int) "misses round-trip" 2 (int_at [ "cache"; "misses" ]);
+  Alcotest.(check int) "evictions round-trip" 0
+    (int_at [ "cache"; "evictions" ]);
+  Alcotest.(check int) "dfs counter" 3 (int_at [ "requests"; "dfs" ]);
+  Alcotest.(check int) "decompose counter" 2
+    (int_at [ "requests"; "decompose" ]);
+  Alcotest.(check int) "no errors" 0 (int_at [ "requests"; "errors" ])
+
+let test_serial_replay_deterministic () =
+  let mix = Workload.mix ~seed:7 ~n:100 ~count:24 in
+  let replay jobs =
+    Repro_util.Pool.with_pool ~jobs @@ fun pool ->
+    let engine = small_engine pool in
+    let responses = List.map (fun r -> Engine.handle_line engine (req_line r)) mix in
+    (responses, Json.to_string (Engine.stats_json engine))
+  in
+  let r1 = replay 1 and r2 = replay 2 in
+  Alcotest.(check bool) "responses and stats bit-identical across jobs" true
+    (r1 = r2)
+
+let test_error_responses () =
+  Repro_util.Pool.with_pool ~jobs:1 @@ fun pool ->
+  let engine = small_engine pool in
+  let is_error line =
+    match Json.member "ok" (Json.of_string (Engine.handle_line engine line)) with
+    | Some (Json.Bool false) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "root out of range" true
+    (is_error {|{"op":"dfs","root":100000}|});
+  Alcotest.(check bool) "unknown op rejected" true
+    (is_error {|{"op":"frobnicate"}|});
+  Alcotest.(check bool) "disconnected part rejected" true
+    (is_error {|{"op":"separator","part":[0,99]}|});
+  Alcotest.(check bool) "parse error answered, not raised" true
+    (is_error "{nonsense");
+  let stats = Engine.stats_json engine in
+  match Option.bind (Json.member "requests" stats) (Json.member "errors") with
+  | Some (Json.Int e) -> Alcotest.(check int) "errors counted" 4 e
+  | _ -> Alcotest.fail "stats missing errors counter"
+
+let test_request_scoped_metrics () =
+  let tracer = Repro_trace.Trace.create ~root:"serve" () in
+  Repro_util.Pool.with_pool ~jobs:1 @@ fun pool ->
+  let engine = small_engine ~tracer pool in
+  let resp =
+    Engine.handle engine
+      (Json.Obj
+         [
+           ("op", Json.String "dfs");
+           ("root", Json.Int 12);
+           ("trace", Json.Bool true);
+         ])
+  in
+  match Json.member "metrics" resp with
+  | Some m -> (
+    match Json.member "name" m with
+    | Some (Json.String name) ->
+      Alcotest.(check string) "metrics rooted at the request span"
+        "serve.dfs" name
+    | _ -> Alcotest.fail "metrics doc has no name")
+  | None -> Alcotest.fail "traced request carries no metrics member"
+
+(* --- Socket: concurrent vs serial ------------------------------------- *)
+
+let serve_exe = Filename.concat ".." (Filename.concat "bin" "serve.exe")
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let read_lines fd count =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let lines = ref [] in
+  while List.length !lines < count do
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      lines := String.sub s 0 i :: !lines;
+      Buffer.clear buf;
+      Buffer.add_substring buf s (i + 1) (String.length s - i - 1)
+    | None -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> failwith "daemon closed the connection early"
+      | k -> Buffer.add_subbytes buf chunk 0 k)
+  done;
+  List.rev !lines
+
+let test_concurrent_replay_matches_serial () =
+  if not (Sys.file_exists serve_exe) then Alcotest.skip ()
+  else begin
+    let mix_a = Workload.mix ~seed:3 ~n:100 ~count:10 in
+    let mix_b = Workload.mix ~seed:4 ~n:100 ~count:10 in
+    (* Serial replay, in-process: one engine, A's stream then B's. *)
+    let serial =
+      Repro_util.Pool.with_pool ~jobs:1 @@ fun pool ->
+      let engine = small_engine pool in
+      List.map (fun r -> Engine.handle_line engine (req_line r)) (mix_a @ mix_b)
+    in
+    let expect_a = List.filteri (fun i _ -> i < 10) serial in
+    let expect_b = List.filteri (fun i _ -> i >= 10) serial in
+    (* The daemon, same instance spec. *)
+    let socket =
+      Printf.sprintf "/tmp/repro-serve-test-%d.sock" (Unix.getpid ())
+    in
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process serve_exe
+        [|
+          serve_exe; "--socket"; socket; "--family"; "grid"; "-n"; "100";
+          "--seed"; "1"; "--jobs"; "1";
+        |]
+        Unix.stdin null null
+    in
+    Unix.close null;
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    while
+      (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline
+    do
+      ignore (Unix.select [] [] [] 0.05)
+    done;
+    Alcotest.(check bool) "daemon socket appeared" true
+      (Sys.file_exists socket);
+    let connect () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      fd
+    in
+    let a = connect () and b = connect () in
+    (* Pipeline both clients' full streams at once: the daemon's select
+       loop interleaves them at line granularity. *)
+    List.iter (fun r -> write_all a (req_line r ^ "\n")) mix_a;
+    List.iter (fun r -> write_all b (req_line r ^ "\n")) mix_b;
+    let got_a = read_lines a 10 and got_b = read_lines b 10 in
+    write_all a "{\"op\":\"shutdown\"}\n";
+    ignore (read_lines a 1);
+    Unix.close a;
+    Unix.close b;
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "daemon exited cleanly" true
+      (status = Unix.WEXITED 0);
+    Alcotest.(check (list string))
+      "client A responses byte-identical to serial replay" expect_a got_a;
+    Alcotest.(check (list string))
+      "client B responses byte-identical to serial replay" expect_b got_b
+  end
+
+let suites =
+  Suite.make __MODULE__
+    [
+      Alcotest.test_case "cache: LRU eviction order deterministic" `Quick
+        test_cache_lru_deterministic;
+      Alcotest.test_case "cache: raising compute not inserted" `Quick
+        test_cache_miss_on_raise_not_inserted;
+      Alcotest.test_case "engine: counters round-trip metrics JSON" `Quick
+        test_counters_roundtrip_metrics_json;
+      Alcotest.test_case "engine: serial replay bit-identical across jobs"
+        `Quick test_serial_replay_deterministic;
+      Alcotest.test_case "engine: malformed requests answered as errors"
+        `Quick test_error_responses;
+      Alcotest.test_case "engine: request-scoped trace metrics" `Quick
+        test_request_scoped_metrics;
+      Alcotest.test_case "socket: concurrent 2-client replay = serial replay"
+        `Quick test_concurrent_replay_matches_serial;
+    ]
