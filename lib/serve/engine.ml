@@ -411,6 +411,17 @@ let handle t req =
           ("ok", Json.Bool false);
           ("error", Json.String ("no separator found: " ^ msg));
         ])
+  | e ->
+    (* Backends, the checker and the DFS driver are allowed to raise on
+       inputs the screen can't rule out; the mli promises errors come
+       back as responses, so nothing may escape into the server loop. *)
+    t.q_errors <- t.q_errors + 1;
+    Json.Obj
+      (id
+      @ [
+          ("ok", Json.Bool false);
+          ("error", Json.String ("internal error: " ^ Printexc.to_string e));
+        ])
 
 let handle_line t line =
   let req =

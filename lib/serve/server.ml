@@ -46,7 +46,10 @@ let run ~socket ?max_requests ?(on_ready = fun () -> ()) engine =
           incr served;
           (try write_all c.fd (resp ^ "\n")
            with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-             drop c);
+             (* The fd is closed now; any pipelined lines still buffered
+                for this client must not be served to it. *)
+             drop c;
+             continue := false);
           if Engine.shutdown_requested engine || limit_reached () then begin
             finished := true;
             continue := false

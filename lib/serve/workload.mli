@@ -33,7 +33,9 @@ val default_piece_target : int
 
 (** The canonical serving instance + mix: grid, n = 1600, generator seed
     1, BFS tree, 120 requests from mix seed 0, cache capacity 64.  At
-    capacity 64 the mix's distinct keys (≤ 12) never evict, so the
+    capacity 64 the mix's 13 distinct keys (6 DFS roots, 5 separator
+    parts — whole graph + pieces 0..3 — and 2 decompose targets) never
+    evict, so the
     hit/miss counters depend only on the request multiset — never on
     client interleaving — and gate exactly in CI. *)
 
